@@ -1,0 +1,161 @@
+/// \file bench_ablation.cpp
+/// Ablations of LowDiff's individual design choices (DESIGN.md §2), each
+/// isolating one mechanism the paper introduces:
+///   A1  gradient reuse itself        — LowDiff vs NaiveDC at equal settings
+///   A2  zero-copy queue transmission — handle hand-off vs payload copy
+///   A3  batched gradient writes      — BS sweep on I/O ops and stalls
+///   A4  CPU-offloaded batching       — device-memory pressure (cf. Exp. 6b)
+///   A5  parallel recovery            — serial vs log-n parallel model
+///   A6  configuration tuning         — tuned (FCF, BS) vs naive settings
+
+#include "bench_util.h"
+#include "core/config_optimizer.h"
+#include "sim/run_sim.h"
+
+namespace {
+
+using namespace lowdiff;
+using namespace lowdiff::sim;
+
+constexpr std::uint64_t kIters = 600;
+
+double overhead(const ClusterSpec& cluster, const Workload& w,
+                const StrategyConfig& cfg) {
+  StrategyTimeline t(cluster, w, cfg);
+  return t.run(kIters).avg_iteration_time() / t.baseline_iteration_time() - 1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("bench_ablation", "design-choice ablations (DESIGN.md)");
+
+  const ClusterSpec cluster;
+  const auto w = Workload::for_model("GPT2-L", cluster.gpu, 0.01);
+
+  // A1: reuse vs recompute-the-differential.
+  {
+    bench::Table table("A1 — gradient reuse vs differential recomputation "
+                       "(GPT2-L, per-iteration DC)",
+                       {"variant", "overhead"}, "ablation_reuse.csv");
+    StrategyConfig lowdiff{StrategyKind::kLowDiff, 1, 100, 2};
+    StrategyConfig naive{StrategyKind::kNaiveDC, 1, 1000000};
+    table.row("reuse compressed gradients (LowDiff)",
+              "+" + bench::Table::pct(overhead(cluster, w, lowdiff)));
+    table.row("recompute + compress differential (NaiveDC)",
+              "+" + bench::Table::pct(overhead(cluster, w, naive)));
+    table.emit();
+  }
+
+  // A2: zero-copy queue.
+  {
+    bench::Table table("A2 — zero-copy queue vs payload copy (GPT2-L)",
+                       {"variant", "overhead"}, "ablation_zerocopy.csv");
+    StrategyConfig zc{StrategyKind::kLowDiff, 1, 100, 2};
+    StrategyConfig copy = zc;
+    copy.zero_copy_queue = false;
+    table.row("zero-copy handles (CUDA-IPC analogue)",
+              "+" + bench::Table::pct(overhead(cluster, w, zc)));
+    table.row("payload copied on the training thread",
+              "+" + bench::Table::pct(overhead(cluster, w, copy)));
+    table.emit();
+  }
+
+  // A3: batching sweep — storage ops per 600 iterations and stall time.
+  {
+    bench::Table table("A3 — batched writes (GPT2-L)",
+                       {"batch_size", "storage_writes", "storage_busy_s",
+                        "busy_ms_per_diff"},
+                       "ablation_batching.csv");
+    for (std::uint64_t bs : {1, 2, 4, 8, 16}) {
+      StrategyConfig cfg{StrategyKind::kLowDiff, 1, 1000, bs};
+      StrategyTimeline t(cluster, w, cfg);
+      const auto stats = t.run(kIters);
+      table.row(std::to_string(bs), std::to_string(stats.storage_writes),
+                bench::Table::fmt(stats.storage_busy_time, 2),
+                bench::Table::fmt(stats.storage_busy_time * 1e3 /
+                                      static_cast<double>(stats.diff_ckpts),
+                                  2));
+    }
+    table.emit();
+  }
+
+  // A4: offloaded batching (device memory) — see also Exp. 6(b).
+  {
+    bench::Table table("A4 — CPU-offloaded batching (GPT2-L, BS=16)",
+                       {"variant", "peak device overhead"},
+                       "ablation_offload.csv");
+    StrategyConfig on{StrategyKind::kLowDiff, 1, 1000, 16};
+    StrategyConfig off = on;
+    off.offload_batching_to_cpu = false;
+    StrategyTimeline t_on(cluster, w, on);
+    StrategyTimeline t_off(cluster, w, off);
+    table.row("batching buffer in CPU memory",
+              "+" + bench::Table::pct(t_on.run(200).device_mem_overhead_frac));
+    table.row("batching buffer on device",
+              "+" + bench::Table::pct(t_off.run(200).device_mem_overhead_frac));
+    table.emit();
+  }
+
+  // A5: recovery parallelism.
+  {
+    bench::Table table("A5 — serial vs parallel recovery (GPT2-S, FCF sweep)",
+                       {"FCF", "serial_s", "parallel_s", "speedup"},
+                       "ablation_recovery.csv");
+    const auto ws = Workload::for_model("GPT2-S", cluster.gpu, 0.01);
+    for (std::uint64_t fcf : {10, 20, 50}) {
+      // Serial cost modeled by the NaiveDC path with LowDiff-sized
+      // payloads: per-diff read + merge, strictly ordered.
+      StrategyTimeline lowdiff(cluster, ws, {StrategyKind::kLowDiff, 1, fcf, 2});
+      const double parallel = lowdiff.load_and_replay_time(fcf / 2);
+      const double read_bw = cluster.storage_read_bytes_per_sec;
+      const double serial =
+          static_cast<double>(ws.full_ckpt_bytes()) / read_bw +
+          static_cast<double>(fcf / 2) *
+              (static_cast<double>(ws.lowdiff_diff_bytes()) / read_bw +
+               0.15 * lowdiff.baseline_iteration_time());
+      table.row(std::to_string(fcf), bench::Table::fmt(serial, 3),
+                bench::Table::fmt(parallel, 3),
+                bench::Table::fmt(serial / parallel, 2) + "x");
+    }
+    table.emit();
+  }
+
+  // A6: tuned vs naive configuration under failures.
+  {
+    bench::Table table("A6 — Eq.(5)-tuned vs naive (FCF, BS) @ MTBF 0.5h "
+                       "(GPT2-S, wasted hours per 8h of work)",
+                       {"configuration", "wasted_h"}, "ablation_tuning.csv");
+    const auto ws = Workload::for_model("GPT2-S", cluster.gpu, 0.01);
+    StrategyTimeline probe(cluster, ws, {StrategyKind::kNone, 1});
+    WastedTimeParams params;
+    params.num_gpus = cluster.num_gpus;
+    params.mtbf_sec = 0.5 * 3600.0;
+    params.full_ckpt_bytes = static_cast<double>(ws.full_ckpt_bytes()) /
+                             static_cast<double>(cluster.num_gpus);
+    params.write_bw = cluster.storage.bytes_per_sec /
+                      static_cast<double>(cluster.gpus_per_server);
+    params.total_train_sec = 8 * 3600.0;
+    params.load_full_sec = static_cast<double>(ws.full_ckpt_bytes()) /
+                           cluster.storage_read_bytes_per_sec;
+    params.merge_diff_sec = 0.15 * probe.baseline_iteration_time();
+    const auto tuned = to_iteration_config(params, probe.baseline_iteration_time());
+
+    FailureRunConfig run;
+    run.train_work_sec = 8 * 3600.0;
+    run.mtbf_sec = params.mtbf_sec;
+    run.seed = 7;
+
+    auto wasted = [&](std::uint64_t fcf, std::uint64_t bs) {
+      StrategyConfig cfg{StrategyKind::kLowDiff, 1, fcf, bs};
+      return run_with_failures(cluster, ws, cfg, run).wasted_time / 3600.0;
+    };
+    table.row("tuned: FCF=" + std::to_string(tuned.full_interval) +
+                  ", BS=" + std::to_string(tuned.batch_size),
+              bench::Table::fmt(wasted(tuned.full_interval, tuned.batch_size)));
+    table.row("naive: FCF=10, BS=1", bench::Table::fmt(wasted(10, 1)));
+    table.row("naive: FCF=2000, BS=64", bench::Table::fmt(wasted(2000, 64)));
+    table.emit();
+  }
+  return 0;
+}

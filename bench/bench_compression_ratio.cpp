@@ -1,0 +1,43 @@
+/// \file bench_compression_ratio.cpp
+/// Reproduces Experiment 8 (Fig. 14): the impact of the sparsification
+/// ratio ρ ∈ [0.001, 0.1] on the checkpoint frequency LowDiff sustains for
+/// GPT2-S and GPT2-L.
+///
+/// Shape targets (paper): GPT2-S checkpoints every iteration across the
+/// whole range; GPT2-L every iteration up to ρ ≈ 0.075 and every 2
+/// iterations at ρ = 0.1 (the larger payload no longer overlaps within one
+/// iteration).
+
+#include "bench_util.h"
+#include "sim/strategy_model.h"
+
+namespace {
+
+using namespace lowdiff;
+using namespace lowdiff::sim;
+
+}  // namespace
+
+int main() {
+  bench::header("bench_compression_ratio",
+                "Fig. 14 (Exp. 8) — checkpoint frequency vs rho");
+
+  const ClusterSpec cluster;
+  bench::Table table("LowDiff checkpoint interval (iterations) @ 3.5% bound",
+                     {"rho", "GPT2-S", "GPT2-L"}, "exp8_compression_ratio.csv");
+
+  for (double rho : {0.001, 0.005, 0.01, 0.025, 0.05, 0.075, 0.1}) {
+    StrategyConfig cfg;
+    cfg.kind = StrategyKind::kLowDiff;
+    cfg.full_interval = 100;
+    cfg.batch_size = 2;
+    const auto small = max_checkpoint_frequency(
+        cluster, Workload::for_model("GPT2-S", cluster.gpu, rho), cfg);
+    const auto large = max_checkpoint_frequency(
+        cluster, Workload::for_model("GPT2-L", cluster.gpu, rho), cfg);
+    table.row(bench::Table::fmt(rho, 3), std::to_string(small),
+              std::to_string(large));
+  }
+  table.emit();
+  return 0;
+}

@@ -1,0 +1,181 @@
+/// \file bench_micro.cpp
+/// Google-benchmark microbenchmarks for the building blocks whose costs
+/// the analytic simulator parameterizes: top-k selection, payload
+/// (de)serialization, CRC framing, Adam steps, sparse merging, and the
+/// zero-copy reusing queue.  These measure this machine's actual rates —
+/// useful when recalibrating ClusterSpec throughputs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.h"
+#include "compress/error_feedback.h"
+#include "core/checkpoint_store.h"
+#include "model/dataset.h"
+#include "model/mlp.h"
+#include "storage/mem_storage.h"
+#include "common/rng.h"
+#include "compress/merge.h"
+#include "compress/topk.h"
+#include "model/model_state.h"
+#include "optim/adam.h"
+#include "queue/reusing_queue.h"
+#include "storage/serializer.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace lowdiff;
+
+Tensor random_tensor(std::size_t n, std::uint64_t seed) {
+  Tensor t(n);
+  Xoshiro256 rng(seed);
+  ops::fill_normal(t.span(), rng, 1.0f);
+  return t;
+}
+
+void BM_TopKCompress(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto grad = random_tensor(n, 1);
+  TopKCompressor comp(0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.compress(grad.cspan(), 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKCompress)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_TopKDecompress(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto grad = random_tensor(n, 2);
+  TopKCompressor comp(0.01);
+  const auto payload = comp.compress(grad.cspan(), 0);
+  Tensor out(n);
+  for (auto _ : state) {
+    comp.decompress(payload, out.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKDecompress)->Arg(1 << 20);
+
+void BM_AdamStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ModelSpec spec{"bench", {{"w", {n}}}};
+  ModelState model(spec);
+  model.init_random(1);
+  const auto grad = random_tensor(n, 3);
+  Adam adam;
+  for (auto _ : state) {
+    adam.step(model, grad.cspan());
+    benchmark::DoNotOptimize(model.params().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AdamStep)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_Crc32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<unsigned char> data(n, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_SerializeModelState(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ModelSpec spec{"bench", {{"w", {n}}}};
+  ModelState model(spec);
+  model.init_random(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_model_state(model));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.byte_size()));
+}
+BENCHMARK(BM_SerializeModelState)->Arg(1 << 20);
+
+void BM_MergeSparseSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TopKCompressor comp(0.01);
+  std::vector<CompressedGrad> payloads;
+  for (int i = 0; i < 8; ++i) {
+    payloads.push_back(comp.compress(random_tensor(n, 10 + i).cspan(), i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_sparse_sum(payloads));
+  }
+}
+BENCHMARK(BM_MergeSparseSum)->Arg(1 << 20);
+
+void BM_ReusingQueueHandoff(benchmark::State& state) {
+  ReusingQueue<CompressedGrad> queue(64);
+  auto payload = std::make_shared<const CompressedGrad>();
+  for (auto _ : state) {
+    queue.put(payload);
+    benchmark::DoNotOptimize(queue.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReusingQueueHandoff);
+
+void BM_MlpLossAndGradient(benchmark::State& state) {
+  MlpConfig cfg;
+  cfg.input_dim = 32;
+  cfg.hidden = {64, 64};
+  cfg.num_classes = 10;
+  MlpNet net(cfg);
+  ModelState model(net.spec());
+  model.init_random(1);
+  SyntheticDataset ds(32, 10, 5);
+  std::vector<float> x;
+  std::vector<std::uint32_t> y;
+  ds.batch(0, 32, x, y);
+  Tensor grad(net.spec().param_count());
+  for (auto _ : state) {
+    grad.zero();
+    benchmark::DoNotOptimize(net.loss_and_gradient(model, x, y, grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_MlpLossAndGradient);
+
+void BM_ErrorFeedbackCompress(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  const auto grad = random_tensor(n, 21);
+  ErrorFeedback ef(std::make_unique<TopKCompressor>(0.01), n);
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ef.compress(grad.cspan(), iter++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ErrorFeedbackCompress);
+
+void BM_ShardedFullCheckpoint(benchmark::State& state) {
+  ModelSpec spec{"bench", {{"w", {1 << 20}}}};
+  ModelState model(spec);
+  model.init_random(3);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      store.put_full_shard(iter, r, 4, model);
+    }
+    ++iter;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.byte_size()));
+}
+BENCHMARK(BM_ShardedFullCheckpoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/// \file bench_scalability.cpp
+/// Reproduces Experiments 9 and 10 (Figs. 15, 16) on V100S servers:
+///  - Exp. 9: effective training time ratio vs MTBF ∈ [0.1, 5] hours;
+///  - Exp. 10: effective ratio vs cluster size (8–64 GPUs), with the
+///    cluster failure rate scaling with GPU count.
+///
+/// Shape targets (paper): LowDiff > LowDiff+ > Gemini > CheckFreq >
+/// torch.save at every point; at MTBF 0.3 h roughly 92/86/81/76 %; at 64
+/// GPUs LowDiff ≈ 98 %, LowDiff+ ≈ 96 %, others ≈ 90 %.
+
+#include "bench_util.h"
+#include "core/config_optimizer.h"
+#include "sim/run_sim.h"
+
+namespace {
+
+using namespace lowdiff;
+using namespace lowdiff::sim;
+
+struct Ratios {
+  double torch, checkfreq, gemini, lowdiff, lowdiff_plus;
+};
+
+Ratios measure(const ClusterSpec& cluster, const Workload& w,
+               const Workload& w_dense, double mtbf_sec, std::uint64_t seed) {
+  FailureRunConfig run;
+  run.train_work_sec = 12 * 3600.0;
+  run.mtbf_sec = mtbf_sec;
+  run.seed = seed;
+
+  StrategyTimeline probe(cluster, w, {StrategyKind::kNone, 1});
+  WastedTimeParams params;
+  params.num_gpus = cluster.num_gpus;
+  params.mtbf_sec = mtbf_sec;
+  params.full_ckpt_bytes = static_cast<double>(w.full_ckpt_bytes()) /
+                           static_cast<double>(cluster.num_gpus);
+  params.write_bw = cluster.storage.bytes_per_sec /
+                    static_cast<double>(cluster.gpus_per_server);
+  params.total_train_sec = run.train_work_sec;
+  params.load_full_sec = static_cast<double>(w.full_ckpt_bytes()) /
+                         cluster.storage_read_bytes_per_sec;
+  params.merge_diff_sec = 0.15 * probe.baseline_iteration_time();
+  const auto tuned = to_iteration_config(params, probe.baseline_iteration_time());
+
+  StrategyConfig lowdiff;
+  lowdiff.kind = StrategyKind::kLowDiff;
+  lowdiff.full_interval = tuned.full_interval;
+  lowdiff.batch_size = tuned.batch_size;
+
+  Ratios out;
+  out.torch =
+      run_with_failures(cluster, w, {StrategyKind::kTorchSave, 25, 25}, run)
+          .effective_ratio;
+  out.checkfreq =
+      run_with_failures(cluster, w, {StrategyKind::kCheckFreq, 10, 10}, run)
+          .effective_ratio;
+  // Gemini runs at its sustainable interval for this workload (Exp. 4): in
+  // the long-horizon experiments every system operates at its own best
+  // configuration, as the paper's scalability section does.
+  out.gemini = run_with_failures(cluster, w, {StrategyKind::kGemini, 3, 3}, run)
+                   .effective_ratio;
+  out.lowdiff = run_with_failures(cluster, w, lowdiff, run).effective_ratio;
+  out.lowdiff_plus =
+      run_with_failures(cluster, w_dense, {StrategyKind::kLowDiffPlus, 1}, run)
+          .effective_ratio;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("bench_scalability",
+                "Figs. 15/16 (Exps. 9, 10) — failures & cluster scale (V100S)");
+
+  ClusterSpec cluster;
+  cluster.gpu = gpus::v100s();
+  const auto w = Workload::for_model("GPT2-S", cluster.gpu, 0.01);
+  const auto w_dense = Workload::for_model("GPT2-S", cluster.gpu, 0.0);
+
+  {
+    bench::Table table("Exp. 9 — effective training time ratio vs MTBF",
+                       {"MTBF_h", "torch.save", "CheckFreq", "Gemini",
+                        "LowDiff", "LowDiff+"},
+                       "exp9_mtbf.csv");
+    for (double mtbf_h : {0.1, 0.3, 0.5, 1.0, 2.0, 5.0}) {
+      const auto r = measure(cluster, w, w_dense, mtbf_h * 3600.0, 9);
+      table.row(bench::Table::fmt(mtbf_h, 1), bench::Table::pct(r.torch),
+                bench::Table::pct(r.checkfreq), bench::Table::pct(r.gemini),
+                bench::Table::pct(r.lowdiff), bench::Table::pct(r.lowdiff_plus));
+    }
+    table.emit();
+  }
+
+  {
+    // Per-GPU MTBF fixed at 16 h: the cluster fails num_gpus times as often.
+    bench::Table table("Exp. 10 — effective training time ratio vs #GPUs",
+                       {"GPUs", "torch.save", "CheckFreq", "Gemini", "LowDiff",
+                        "LowDiff+"},
+                       "exp10_gpus.csv");
+    for (std::size_t gpus : {8, 16, 32, 64}) {
+      ClusterSpec c = cluster;
+      c.num_gpus = gpus;
+      const double mtbf = 16.0 * 3600.0 / static_cast<double>(gpus);
+      const auto wl = Workload::for_model("GPT2-S", c.gpu, 0.01);
+      const auto wd = Workload::for_model("GPT2-S", c.gpu, 0.0);
+      const auto r = measure(c, wl, wd, mtbf, 10);
+      table.row(std::to_string(gpus), bench::Table::pct(r.torch),
+                bench::Table::pct(r.checkfreq), bench::Table::pct(r.gemini),
+                bench::Table::pct(r.lowdiff), bench::Table::pct(r.lowdiff_plus));
+    }
+    table.emit();
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared table/CSV output helpers for the experiment-reproduction benches.
+/// Each bench prints the rows/series of one paper table or figure on stdout
+/// and mirrors them into a CSV file next to the binary's working directory.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lowdiff::bench {
+
+/// Fixed-width text table with a CSV mirror.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns,
+        std::string csv_path = {})
+      : title_(std::move(title)), columns_(std::move(columns)),
+        csv_path_(std::move(csv_path)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  /// Prints to stdout and writes the CSV mirror (if a path was given).
+  void emit() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    std::cout << "\n== " << title_ << " ==\n";
+    print_row(columns_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+    }
+    std::cout << rule << "\n";
+    for (const auto& r : rows_) print_row(r, widths);
+
+    if (!csv_path_.empty()) {
+      // CSVs are collected under bench_results/ in the working directory.
+      std::filesystem::create_directories("bench_results");
+      const auto path = std::filesystem::path("bench_results") / csv_path_;
+      std::ofstream csv(path);
+      csv << join(columns_) << "\n";
+      for (const auto& r : rows_) csv << join(r) << "\n";
+      std::cout << "[csv] " << path.string() << "\n";
+    }
+  }
+
+  static std::string fmt(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+  static std::string pct(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream oss;
+      oss << v;
+      return oss.str();
+    }
+  }
+
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  static std::string join(const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ",";
+      out += cells[c];
+    }
+    return out;
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::string csv_path_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void header(const std::string& name, const std::string& paper_artifact) {
+  std::cout << "======================================================\n"
+            << name << "\nreproduces: " << paper_artifact << "\n"
+            << "======================================================\n";
+}
+
+}  // namespace lowdiff::bench

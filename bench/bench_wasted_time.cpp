@@ -1,0 +1,123 @@
+/// \file bench_wasted_time.cpp
+/// Reproduces Experiment 3 (Fig. 10): wasted time (recovery overhead +
+/// steady-state checkpointing overhead) when training GPT2-S under
+/// injected failures with MTBF ∈ {0.5, 1, 2} hours.  LowDiff runs at the
+/// Eq. (5)-tuned (FCF, BS); LowDiff+ is reported separately for software
+/// and hardware failures.
+///
+/// Shape targets (paper):
+///  - LowDiff lowest everywhere; its lead over Gemini grows as MTBF falls;
+///  - LowDiff+(S) 3.7–5.1 % below LowDiff (in-memory recovery);
+///  - LowDiff+(H) slightly above LowDiff but below CheckFreq/Gemini.
+
+#include "bench_util.h"
+#include "core/config_optimizer.h"
+#include "sim/run_sim.h"
+
+namespace {
+
+using namespace lowdiff;
+using namespace lowdiff::sim;
+
+}  // namespace
+
+int main() {
+  bench::header("bench_wasted_time", "Fig. 10 (Exp. 3) — wasted time vs MTBF");
+
+  const ClusterSpec cluster;
+  const auto w = Workload::for_model("GPT2-S", cluster.gpu, 0.01);
+  StrategyTimeline probe(cluster, w, {StrategyKind::kNone, 1});
+  const double iter0 = probe.baseline_iteration_time();
+
+  bench::Table table("Wasted time training GPT2-S for 8h of work (hours)",
+                     {"MTBF_h", "TorchSave", "CheckFreq", "Gemini", "NaiveDC",
+                      "LowDiff", "LowDiff+(S)", "LowDiff+(H)"},
+                     "exp3_wasted_time.csv");
+
+  struct Row {
+    double mtbf_h;
+    FailureRunResult torch, checkfreq, gemini, naive, lowdiff, plus_s, plus_h;
+  };
+  std::vector<Row> failure_rows;
+
+  for (double mtbf_h : {0.5, 1.0, 2.0}) {
+    FailureRunConfig run;
+    run.train_work_sec = 8 * 3600.0;
+    run.mtbf_sec = mtbf_h * 3600.0;
+    run.seed = 42;
+
+    // LowDiff at the analytically tuned configuration (§4.3).
+    WastedTimeParams params;
+    params.num_gpus = cluster.num_gpus;
+    params.mtbf_sec = run.mtbf_sec;
+    params.full_ckpt_bytes = static_cast<double>(w.full_ckpt_bytes()) /
+                             static_cast<double>(cluster.num_gpus);
+    params.write_bw = cluster.storage.bytes_per_sec /
+                      static_cast<double>(cluster.gpus_per_server);
+    params.total_train_sec = run.train_work_sec;
+    params.load_full_sec = static_cast<double>(w.full_ckpt_bytes()) /
+                           cluster.storage_read_bytes_per_sec;
+    params.merge_diff_sec = 0.15 * iter0;
+    const auto tuned = to_iteration_config(params, iter0);
+
+    StrategyConfig lowdiff;
+    lowdiff.kind = StrategyKind::kLowDiff;
+    lowdiff.ckpt_interval = 1;
+    lowdiff.full_interval = tuned.full_interval;
+    lowdiff.batch_size = tuned.batch_size;
+
+    auto result = [&](StrategyConfig cfg, double software_fraction) {
+      auto r = run;
+      r.software_fraction = software_fraction;
+      if (cfg.kind == StrategyKind::kLowDiffPlus) {
+        // LowDiff+ runs the dense (no-compression) regime.
+        const auto wd = Workload::for_model("GPT2-S", cluster.gpu, 0.0);
+        return run_with_failures(cluster, wd, cfg, r);
+      }
+      return run_with_failures(cluster, w, cfg, r);
+    };
+    // Baselines follow their papers' default configurations (§6.1):
+    // Gemini checkpoints per iteration, CheckFreq every 10 iterations,
+    // NaiveDC diffs every iteration with FCF 20, torch.save every 25.
+    const FailureRunResult r_torch = result({StrategyKind::kTorchSave, 25, 25}, 0.5);
+    const FailureRunResult r_cf = result({StrategyKind::kCheckFreq, 10, 10}, 0.5);
+    const FailureRunResult r_gem = result({StrategyKind::kGemini, 1, 1}, 0.5);
+    const FailureRunResult r_naive = result({StrategyKind::kNaiveDC, 1, 20}, 0.5);
+    const FailureRunResult r_low = result(lowdiff, 0.5);
+    const FailureRunResult r_plus_s = result({StrategyKind::kLowDiffPlus, 1}, 1.0);
+    const FailureRunResult r_plus_h = result({StrategyKind::kLowDiffPlus, 1}, 0.0);
+
+    auto wasted = [](const FailureRunResult& r) {
+      return bench::Table::fmt(r.wasted_time / 3600.0);
+    };
+    table.row(bench::Table::fmt(mtbf_h, 1), wasted(r_torch), wasted(r_cf),
+              wasted(r_gem), wasted(r_naive), wasted(r_low), wasted(r_plus_s),
+              wasted(r_plus_h));
+    failure_rows.push_back({mtbf_h, r_torch, r_cf, r_gem, r_naive, r_low,
+                            r_plus_s, r_plus_h});
+  }
+  table.emit();
+
+  // The paper's LowDiff+(S) rows sit slightly *below* LowDiff, which is
+  // only possible when the steady-state regime difference (dense vs
+  // compressed training) is factored out — so the failure-induced waste
+  // (recovery + redone work) is reported separately.
+  bench::Table failure_table(
+      "Failure-induced waste only: recovery + redone work (hours)",
+      {"MTBF_h", "TorchSave", "CheckFreq", "Gemini", "NaiveDC", "LowDiff",
+       "LowDiff+(S)", "LowDiff+(H)"},
+      "exp3_failure_waste.csv");
+  for (const auto& row : failure_rows) {
+    auto fw = [](const FailureRunResult& r) {
+      return bench::Table::fmt((r.recovery_time + r.redo_time) / 3600.0);
+    };
+    failure_table.row(bench::Table::fmt(row.mtbf_h, 1), fw(row.torch),
+                      fw(row.checkfreq), fw(row.gemini), fw(row.naive),
+                      fw(row.lowdiff), fw(row.plus_s), fw(row.plus_h));
+  }
+  failure_table.emit();
+
+  std::cout << "\nLowDiff uses the Eq.(5)-tuned (FCF, BS) per MTBF; see "
+               "bench_config_grid for the tuning surface.\n";
+  return 0;
+}

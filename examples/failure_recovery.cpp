@@ -1,0 +1,134 @@
+/// \file failure_recovery.cpp
+/// Failure-mode walkthrough for LowDiff and LowDiff+ (paper §5.3):
+///   - software failure with LowDiff+: the training process dies but the
+///     checkpointing process's CPU-resident replica survives → instant
+///     in-memory recovery;
+///   - hardware failure: all volatile state is lost → recover from the
+///     persisted checkpoints on storage;
+///   - corrupted checkpoint: CRC framing rejects a torn write instead of
+///     silently resuming from garbage;
+///   - LowDiff crash mid-batch: only the unbatched tail of differentials
+///     is lost (the b/2 term of the wasted-time model).
+
+#include <cstdio>
+
+#include "lowdiff.h"
+
+using namespace lowdiff;
+
+namespace {
+
+MlpConfig mlp_config() {
+  MlpConfig mlp;
+  mlp.input_dim = 10;
+  mlp.hidden = {24};
+  mlp.num_classes = 3;
+  return mlp;
+}
+
+TrainerConfig dense_config() {
+  TrainerConfig cfg;
+  cfg.world = 2;
+  cfg.rho = 0.0;  // LowDiff+ operates without gradient compression
+  cfg.seed = 21;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== LowDiff+ software failure: recover from the CPU replica ==\n");
+  {
+    auto backend = std::make_shared<MemStorage>();
+    auto store = std::make_shared<CheckpointStore>(backend);
+
+    auto cfg = dense_config();
+    Trainer trainer(mlp_config(), cfg);
+    ModelState init(trainer.spec());
+    init.init_random(cfg.seed);
+
+    LowDiffPlusStrategy::Options options;
+    options.persist_interval = 8;
+    LowDiffPlusStrategy strategy(store, init, std::make_unique<Adam>(cfg.adam),
+                                 options);
+
+    trainer.run(0, 20, nullptr, &strategy);  // layer-wise gradient streaming
+
+    // The training process "dies"; the checkpointing process still holds
+    // the replica, updated through iteration 19.
+    const ModelState replica = strategy.replica_snapshot(19);
+    std::printf("replica == lost GPU state: %s (zero iterations lost)\n",
+                replica.bit_equal(trainer.state(0)) ? "YES" : "no (bug!)");
+
+    std::printf("\n== LowDiff+ hardware failure: replica lost, storage "
+                "survives ==\n");
+    strategy.flush();
+    const auto persisted = store->latest_full();
+    std::printf("last persisted replica: iteration %llu -> lose %llu "
+                "iterations of work\n",
+                static_cast<unsigned long long>(*persisted),
+                static_cast<unsigned long long>(19 - *persisted));
+    const ModelState from_disk = store->read_full(*persisted, trainer.spec());
+    std::printf("persisted checkpoint loads cleanly, step=%llu\n",
+                static_cast<unsigned long long>(from_disk.step()));
+  }
+
+  std::printf("\n== LowDiff crash mid-batch: bounded loss of buffered "
+              "differentials ==\n");
+  {
+    auto backend = std::make_shared<MemStorage>();
+    auto store = std::make_shared<CheckpointStore>(backend);
+    TrainerConfig cfg;
+    cfg.world = 2;
+    cfg.rho = 0.05;
+    cfg.seed = 3;
+
+    Trainer trainer(mlp_config(), cfg);
+    {
+      LowDiffStrategy::Options options;
+      options.batch_size = 4;
+      options.full_interval = 8;
+      LowDiffStrategy strategy(store, options);
+      trainer.run(0, 19, &strategy);
+      // Destructor without flush(): the partial batch (up to BS-1
+      // differentials) is dropped, exactly like a crash.
+    }
+    Adam adam(cfg.adam);
+    TopKCompressor comp(cfg.rho);
+    RecoveryEngine engine(trainer.spec(), adam.clone(), comp.clone());
+    RecoveryReport report;
+    const auto recovered = engine.recover_serial(*store, &report);
+    std::printf("trained through iteration 18; recovered to iteration %llu "
+                "(lost %llu <= batch size 4)\n",
+                static_cast<unsigned long long>(report.final_iteration),
+                static_cast<unsigned long long>(18 - report.final_iteration));
+    (void)recovered;
+  }
+
+  std::printf("\n== corrupted checkpoint: CRC rejects a torn write ==\n");
+  {
+    auto backend = std::make_shared<MemStorage>();
+    auto store = std::make_shared<CheckpointStore>(backend);
+    TrainerConfig cfg;
+    cfg.world = 1;
+    cfg.rho = 0.05;
+    Trainer trainer(mlp_config(), cfg);
+    TorchSaveStrategy strategy(store, 5);
+    trainer.run(0, 10, &strategy);
+
+    const auto key = CheckpointStore::full_key(*store->latest_full());
+    auto bytes = *backend->read(key);
+    bytes[bytes.size() / 3] ^= std::byte{0x10};  // flip one bit
+    backend->write(key, bytes);
+
+    try {
+      store->read_full(*store->latest_full(), trainer.spec());
+      std::printf("ERROR: corruption was not detected!\n");
+      return 1;
+    } catch (const Error& e) {
+      std::printf("corruption detected as expected: %s\n", e.what());
+    }
+  }
+  std::printf("\nall failure scenarios behaved as designed.\n");
+  return 0;
+}

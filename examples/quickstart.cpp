@@ -1,0 +1,80 @@
+/// \file quickstart.cpp
+/// Five-minute tour of LowDiff:
+///   1. train a small model data-parallel with top-k compressed gradients,
+///      checkpointing every iteration by *reusing* the synchronized
+///      compressed gradient as a differential checkpoint;
+///   2. "crash";
+///   3. recover — bit-exactly — from full + differential checkpoints;
+///   4. resume training and confirm the trajectory is unchanged.
+
+#include <cstdio>
+
+#include "lowdiff.h"
+
+using namespace lowdiff;
+
+int main() {
+  // A real (autodiff) MLP stands in for the DNN; the checkpointing stack
+  // only sees parameter/gradient bytes, so the mechanics are identical.
+  MlpConfig mlp;
+  mlp.input_dim = 12;
+  mlp.hidden = {32, 24};
+  mlp.num_classes = 4;
+
+  TrainerConfig cfg;
+  cfg.world = 2;     // two data-parallel workers (threads)
+  cfg.rho = 0.05;    // top-k sparsification ratio
+  cfg.seed = 7;
+
+  // Checkpoints land in an in-memory store here; FileStorage works the
+  // same way for on-disk checkpoints.
+  auto backend = std::make_shared<MemStorage>();
+  auto store = std::make_shared<CheckpointStore>(backend);
+
+  LowDiffStrategy::Options options;
+  options.batch_size = 3;      // batched gradient writes (Fig. 4)
+  options.full_interval = 10;  // full checkpoint every 10 iterations
+
+  std::printf("== phase 1: train 25 iterations with per-iteration LowDiff "
+              "checkpoints ==\n");
+  Trainer trainer(mlp, cfg);
+  {
+    LowDiffStrategy strategy(store, options);
+    const auto result = trainer.run(0, 25, &strategy);
+    strategy.flush();
+    std::printf("loss %.4f -> %.4f, ckpt stall %.1f ms total\n",
+                result.losses.front(), result.losses.back(),
+                result.stall_seconds * 1e3);
+  }
+  const ModelState& live = trainer.state(0);
+  std::printf("store now holds: latest full @ iter %llu, %zu differentials "
+              "after it\n",
+              static_cast<unsigned long long>(*store->latest_full()),
+              store->diffs_after(*store->latest_full()).size());
+
+  std::printf("\n== phase 2: crash, then recover from storage ==\n");
+  Adam adam(cfg.adam);
+  TopKCompressor compressor(cfg.rho);
+  RecoveryEngine engine(trainer.spec(), adam.clone(), compressor.clone());
+  ThreadPool pool(4);
+  RecoveryReport report;
+  const ModelState recovered = engine.recover_parallel(*store, pool, &report);
+  std::printf("recovered to iteration %llu (replayed %llu differentials)\n",
+              static_cast<unsigned long long>(report.final_iteration),
+              static_cast<unsigned long long>(report.diffs_replayed));
+  std::printf("bit-exact vs pre-crash state: %s\n",
+              recovered.bit_equal(live) ? "YES" : "no (bug!)");
+
+  std::printf("\n== phase 3: resume and compare with an uninterrupted run ==\n");
+  Trainer resumed(mlp, cfg);
+  resumed.set_state(recovered);
+  resumed.run(25, 15, nullptr);
+
+  Trainer reference(mlp, cfg);
+  reference.run(0, 40, nullptr);
+  std::printf("resumed == uninterrupted after 40 iterations: %s\n",
+              resumed.state(0).bit_equal(reference.state(0)) ? "YES"
+                                                             : "no (bug!)");
+  std::printf("final eval accuracy: %.1f%%\n", resumed.eval_accuracy() * 100.0);
+  return 0;
+}

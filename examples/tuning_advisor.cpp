@@ -1,0 +1,82 @@
+/// \file tuning_advisor.cpp
+/// Interactive-style advisor around the Optimal Configuration module
+/// (paper §4.3): given cluster parameters it prints the Eq. (5) optimum,
+/// a sensitivity sweep over MTBF and storage bandwidth, and demonstrates
+/// the runtime tuner adapting as observations drift.
+///
+/// Usage: tuning_advisor [model] [mtbf_hours] [write_bw_GBps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "lowdiff.h"
+
+using namespace lowdiff;
+using namespace lowdiff::sim;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "GPT2-S";
+  const double mtbf_h = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const double write_gbps = argc > 3 ? std::atof(argv[3]) : 0.55;
+
+  ClusterSpec cluster;
+  const auto w = Workload::for_model(model, cluster.gpu, 0.01);
+  StrategyTimeline probe(cluster, w, {StrategyKind::kNone, 1});
+  const double iter0 = probe.baseline_iteration_time();
+
+  WastedTimeParams p;
+  p.num_gpus = cluster.num_gpus;
+  p.mtbf_sec = mtbf_h * 3600.0;
+  p.write_bw = write_gbps * 1e9;
+  p.full_ckpt_bytes = static_cast<double>(w.full_ckpt_bytes()) /
+                      static_cast<double>(cluster.num_gpus);
+  p.total_train_sec = 24 * 3600.0;
+  p.load_full_sec = static_cast<double>(w.full_ckpt_bytes()) /
+                    cluster.storage_read_bytes_per_sec;
+  p.merge_diff_sec = 0.15 * iter0;
+
+  const auto [f_star, b_star] = optimal_config(p);
+  const auto cfg = to_iteration_config(p, iter0);
+  std::printf("model %s: iteration %.0f ms, sharded full checkpoint %.0f MB\n",
+              model.c_str(), iter0 * 1e3, p.full_ckpt_bytes / 1e6);
+  std::printf("\nEq.(5) optimum for MTBF %.2f h, write bw %.2f GB/s:\n",
+              mtbf_h, write_gbps);
+  std::printf("  f* = %.5f full checkpoints/s  ->  every %llu iterations\n",
+              f_star, static_cast<unsigned long long>(cfg.full_interval));
+  std::printf("  b* = %.3f s of gradients/batch ->  batch size %llu\n", b_star,
+              static_cast<unsigned long long>(cfg.batch_size));
+  std::printf("  modeled wasted time over 24 h: %.1f GPU-minutes\n",
+              wasted_time_model(p, f_star, b_star) / 60.0);
+
+  std::printf("\nsensitivity: tuned (FCF interval, BS) as conditions change\n");
+  std::printf("%-14s", "MTBF \\ bw");
+  for (double bw : {0.25, 0.55, 1.0, 2.0}) std::printf("  %8.2fGB/s", bw);
+  std::printf("\n");
+  for (double m : {0.1, 0.5, 1.0, 4.0, 24.0}) {
+    std::printf("%10.1f h  ", m);
+    for (double bw : {0.25, 0.55, 1.0, 2.0}) {
+      auto q = p;
+      q.mtbf_sec = m * 3600.0;
+      q.write_bw = bw * 1e9;
+      const auto c = to_iteration_config(q, iter0);
+      std::printf("  %5llu/%-5llu",
+                  static_cast<unsigned long long>(c.full_interval),
+                  static_cast<unsigned long long>(c.batch_size));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nruntime tuner: failures suddenly 10x more frequent...\n");
+  ConfigTuner tuner(p, iter0);
+  const auto before = tuner.recommend();
+  for (int i = 0; i < 20; ++i) tuner.observe_mtbf(p.mtbf_sec / 10.0);
+  const auto after = tuner.recommend();
+  std::printf("  before: full every %llu iters, batch %llu\n",
+              static_cast<unsigned long long>(before.full_interval),
+              static_cast<unsigned long long>(before.batch_size));
+  std::printf("  after:  full every %llu iters, batch %llu\n",
+              static_cast<unsigned long long>(after.full_interval),
+              static_cast<unsigned long long>(after.batch_size));
+  return 0;
+}

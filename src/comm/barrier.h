@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file barrier.h
+/// Reusable generation-counted barrier for the in-process worker group.
+/// (std::barrier is available in C++20 but its completion-function typing
+/// makes composition awkward; this 30-line version is the classic MPI-style
+/// phase barrier.)
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    LOWDIFF_ENSURE(parties > 0, "barrier needs at least one party");
+  }
+
+  /// Blocks until all parties have arrived; automatically resets.
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this, my_generation] { return generation_ != my_generation; });
+  }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,102 @@
+#include "comm/comm_group.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+
+CommGroup::CommGroup(std::size_t world, NetworkModel model, double time_scale)
+    : world_(world),
+      model_(model),
+      time_scale_(time_scale),
+      barrier_(world),
+      dense_slots_(world),
+      sparse_slots_(world, nullptr),
+      comm_time_(world, 0.0) {
+  LOWDIFF_ENSURE(world >= 1, "world size must be >= 1");
+  model_.world = world;
+}
+
+void CommGroup::barrier() { barrier_.arrive_and_wait(); }
+
+void CommGroup::charge(std::size_t rank, double modeled_seconds) {
+  comm_time_[rank] += modeled_seconds;
+  if (time_scale_ > 0.0 && modeled_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(modeled_seconds * time_scale_));
+  }
+}
+
+void CommGroup::allreduce_sum(std::size_t rank, std::span<float> data) {
+  LOWDIFF_ENSURE(rank < world_, "rank out of range");
+  if (world_ == 1) {
+    charge(rank, 0.0);
+    return;
+  }
+  dense_slots_[rank] = data;
+  barrier_.arrive_and_wait();  // all contributions registered
+
+  // Reduce in fixed rank order into a local temporary: every rank computes
+  // the same fp sum, so results are bitwise identical across ranks.
+  std::vector<float> acc(data.size(), 0.0f);
+  for (std::size_t r = 0; r < world_; ++r) {
+    const auto other = dense_slots_[r];
+    LOWDIFF_ENSURE(other.size() == data.size(), "allreduce size mismatch");
+    for (std::size_t i = 0; i < data.size(); ++i) acc[i] += other[i];
+  }
+  barrier_.arrive_and_wait();  // reads complete, safe to overwrite inputs
+
+  ops::copy(std::span<const float>(acc), data);
+  charge(rank, model_.allreduce_time(data.size_bytes()));
+  barrier_.arrive_and_wait();  // slots reusable
+}
+
+std::vector<CompressedGrad> CommGroup::allgather(std::size_t rank,
+                                                 const CompressedGrad& mine) {
+  LOWDIFF_ENSURE(rank < world_, "rank out of range");
+  sparse_slots_[rank] = &mine;
+  barrier_.arrive_and_wait();
+
+  std::vector<CompressedGrad> out;
+  out.reserve(world_);
+  for (std::size_t r = 0; r < world_; ++r) {
+    LOWDIFF_ENSURE(sparse_slots_[r] != nullptr, "missing allgather contribution");
+    out.push_back(*sparse_slots_[r]);
+  }
+  barrier_.arrive_and_wait();  // copies complete, inputs may be destroyed
+
+  charge(rank, model_.allgather_time(mine.byte_size()));
+  return out;
+}
+
+CompressedGrad CommGroup::allreduce_sparse(std::size_t rank,
+                                           const CompressedGrad& mine) {
+  auto all = allgather(rank, mine);
+  return merge_sparse_sum(all);
+}
+
+void CommGroup::broadcast(std::size_t rank, std::size_t root,
+                          std::span<float> data) {
+  LOWDIFF_ENSURE(rank < world_ && root < world_, "rank out of range");
+  if (world_ == 1) return;
+  dense_slots_[rank] = data;
+  barrier_.arrive_and_wait();  // all spans registered
+
+  if (rank != root) {
+    const auto src = dense_slots_[root];
+    LOWDIFF_ENSURE(src.size() == data.size(), "broadcast size mismatch");
+    ops::copy(src, data);
+  }
+  barrier_.arrive_and_wait();  // copies complete before root reuses its span
+  charge(rank, model_.broadcast_time(data.size_bytes()));
+}
+
+double CommGroup::modeled_comm_time(std::size_t rank) const {
+  LOWDIFF_ENSURE(rank < world_, "rank out of range");
+  return comm_time_[rank];
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file comm_group.h
+/// In-process data-parallel communicator: one group shared by `world`
+/// worker threads, providing the collectives the training loop needs
+/// (paper Algorithm 1 line 5: Sync of compressed gradients).
+///
+/// Determinism contract: every collective reduces contributions in fixed
+/// rank order, so all ranks observe a bitwise-identical result — the
+/// property gradient reuse depends on (each worker's checkpointing process
+/// persists the *synchronized* gradient).
+///
+/// Timing: if a time_scale is configured, each rank sleeps the modeled
+/// collective duration (ring allreduce / allgather over the configured
+/// link), scaled — the live analogue of NCCL time on a 25 Gbps fabric.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/barrier.h"
+#include "comm/network_model.h"
+#include "compress/compressed_grad.h"
+#include "compress/merge.h"
+
+namespace lowdiff {
+
+class CommGroup {
+ public:
+  /// `model`: link + world for modeled timing.  `time_scale` <= 0 disables
+  /// sleeping (zero-latency collectives, still deterministic).
+  explicit CommGroup(std::size_t world, NetworkModel model = {},
+                     double time_scale = 0.0);
+
+  std::size_t world() const { return world_; }
+  const NetworkModel& network() const { return model_; }
+
+  /// Rendezvous of all ranks.
+  void barrier();
+
+  /// In-place sum-allreduce: after return, every rank's span holds the
+  /// rank-ordered sum of all contributions.  All spans must be equal-sized.
+  void allreduce_sum(std::size_t rank, std::span<float> data);
+
+  /// Gathers every rank's payload; the returned vector is indexed by rank.
+  std::vector<CompressedGrad> allgather(std::size_t rank, const CompressedGrad& mine);
+
+  /// Convenience for sparsified training: allgather + index-union sum,
+  /// giving each rank the same synchronized compressed gradient.
+  CompressedGrad allreduce_sparse(std::size_t rank, const CompressedGrad& mine);
+
+  /// Copies `root`'s span into every other rank's span (sizes must match).
+  /// Used to fan a recovered model state out to the worker group.
+  void broadcast(std::size_t rank, std::size_t root, std::span<float> data);
+
+  /// Modeled seconds spent in collectives by one rank so far.
+  double modeled_comm_time(std::size_t rank) const;
+
+ private:
+  void charge(std::size_t rank, double modeled_seconds);
+
+  const std::size_t world_;
+  NetworkModel model_;
+  double time_scale_;
+  Barrier barrier_;
+
+  // Collective scratch (valid between the internal barriers only).
+  std::vector<std::span<float>> dense_slots_;
+  std::vector<const CompressedGrad*> sparse_slots_;
+  std::vector<double> comm_time_;  // per rank, modeled seconds
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file network_model.h
+/// Analytic collective-communication cost model (α–β) over a LinkSpec.
+/// Used both for charging modeled time in live runs and by the
+/// discrete-event simulator for cluster-scale experiments.
+
+#include <cstdint>
+
+#include "storage/bandwidth.h"
+
+namespace lowdiff {
+
+struct NetworkModel {
+  LinkSpec link = links::ib_25gbps();
+  std::size_t world = 1;
+
+  /// Ring allreduce: 2(N-1)/N of the payload crosses each link, with
+  /// 2(N-1) latency hops.
+  double allreduce_time(std::uint64_t bytes) const {
+    if (world <= 1) return 0.0;
+    const double n = static_cast<double>(world);
+    return 2.0 * (n - 1.0) / n * static_cast<double>(bytes) / link.bytes_per_sec +
+           2.0 * (n - 1.0) * link.latency_sec;
+  }
+
+  /// Ring allgather of `bytes_per_rank` from every rank: each link carries
+  /// (N-1) * bytes_per_rank.
+  double allgather_time(std::uint64_t bytes_per_rank) const {
+    if (world <= 1) return 0.0;
+    const double n = static_cast<double>(world);
+    return (n - 1.0) * static_cast<double>(bytes_per_rank) / link.bytes_per_sec +
+           (n - 1.0) * link.latency_sec;
+  }
+
+  /// Binary-tree broadcast.
+  double broadcast_time(std::uint64_t bytes) const {
+    if (world <= 1) return 0.0;
+    double hops = 0.0;
+    for (std::size_t w = 1; w < world; w *= 2) hops += 1.0;
+    return hops * (static_cast<double>(bytes) / link.bytes_per_sec + link.latency_sec);
+  }
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file aligned_buffer.h
+/// RAII cache-line / SIMD aligned byte buffer (Core Guidelines R.1).
+///
+/// Tensors, compressed-gradient payloads, and serialized checkpoints all sit
+/// on top of this type.  Alignment defaults to 64 bytes so vectorized loops
+/// over float payloads never straddle cache lines.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t size) : size_(size) {
+    if (size_ > 0) {
+      const std::size_t padded = (size_ + kAlignment - 1) / kAlignment * kAlignment;
+      data_ = static_cast<std::byte*>(::operator new(padded, std::align_val_t{kAlignment}));
+    }
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0) std::memcpy(data_, other.data_, size_);
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  std::byte* data() noexcept { return data_; }
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void fill(std::byte value) {
+    if (size_ > 0) std::memset(data_, static_cast<int>(value), size_);
+  }
+
+  /// Reinterprets the buffer as an array of T.  The buffer size must be a
+  /// multiple of sizeof(T); alignment is guaranteed by construction.
+  template <typename T>
+  T* as() {
+    LOWDIFF_ENSURE(size_ % sizeof(T) == 0, "buffer size not a multiple of element size");
+    return reinterpret_cast<T*>(data_);
+  }
+
+  template <typename T>
+  const T* as() const {
+    LOWDIFF_ENSURE(size_ % sizeof(T) == 0, "buffer size not a multiple of element size");
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file crc32.h
+/// CRC32C (Castagnoli) used to frame checkpoint files.
+///
+/// Checkpoints written by the storage subsystem carry a CRC so that the
+/// recovery path can detect torn or corrupted writes — a real failure mode
+/// the paper's recovery process must survive.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lowdiff {
+
+/// Incrementally updates a CRC32C over a byte range.
+/// Start with crc = 0; feed successive chunks, reusing the returned value.
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len);
+
+/// One-shot convenience over a whole buffer.
+inline std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c(0, data, len);
+}
+
+}  // namespace lowdiff

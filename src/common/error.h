@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file error.h
+/// Error-handling primitives for the LowDiff library.
+///
+/// Following the C++ Core Guidelines (I.6, E.12), preconditions and
+/// invariants are checked with macros that throw a typed exception carrying
+/// the failing expression and source location.  Checks are always on: the
+/// library simulates distributed-systems failure paths, so silent invariant
+/// corruption is never acceptable.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace lowdiff {
+
+/// Exception thrown when a LOWDIFF_ENSURE / LOWDIFF_CHECK condition fails.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what_arg, std::source_location loc)
+      : std::runtime_error(format(what_arg, loc)) {}
+
+ private:
+  static std::string format(const std::string& msg, std::source_location loc) {
+    return std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+           " (" + loc.function_name() + "): " + msg;
+  }
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const std::string& msg,
+                               std::source_location loc) {
+  std::string text = std::string("check failed: ") + expr;
+  if (!msg.empty()) text += " — " + msg;
+  throw Error(text, loc);
+}
+}  // namespace detail
+
+}  // namespace lowdiff
+
+/// Precondition / invariant check with an explanatory message.
+#define LOWDIFF_ENSURE(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::lowdiff::detail::raise(#cond, (msg),                            \
+                               std::source_location::current());        \
+    }                                                                   \
+  } while (false)
+
+/// Bare invariant check.
+#define LOWDIFF_CHECK(cond) LOWDIFF_ENSURE(cond, "")
+
+/// Marks unreachable control flow.
+#define LOWDIFF_UNREACHABLE(msg)                                        \
+  ::lowdiff::detail::raise("unreachable", (msg),                        \
+                           std::source_location::current())

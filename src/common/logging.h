@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logger.  Benchmarks print their tables on stdout; the
+/// logger keeps diagnostics on stderr so bench output stays machine-parsable.
+
+#include <sstream>
+#include <string>
+
+namespace lowdiff {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level (default kWarn so tests/benches stay quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Parts>
+void log(LogLevel level, const Parts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << parts);
+  detail::log_line(level, oss.str());
+}
+
+#define LOWDIFF_LOG_DEBUG(...) ::lowdiff::log(::lowdiff::LogLevel::kDebug, __VA_ARGS__)
+#define LOWDIFF_LOG_INFO(...) ::lowdiff::log(::lowdiff::LogLevel::kInfo, __VA_ARGS__)
+#define LOWDIFF_LOG_WARN(...) ::lowdiff::log(::lowdiff::LogLevel::kWarn, __VA_ARGS__)
+#define LOWDIFF_LOG_ERROR(...) ::lowdiff::log(::lowdiff::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace lowdiff

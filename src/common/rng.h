@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic random number generation.
+///
+/// The simulator must be reproducible run-to-run (experiments are compared
+/// across strategies), so every stochastic component takes an explicit seed
+/// and uses these engines rather than std::random_device.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lowdiff {
+
+/// SplitMix64 — used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality PRNG for bulk gradient synthesis.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  constexpr float uniform_float() {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t uniform_below(std::uint64_t bound) {
+    // Lemire's multiply-shift; slight modulo bias is irrelevant here.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform_double() - 1.0;
+      v = 2.0 * uniform_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+  /// Exponential with the given mean (used for MTBF failure sampling).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace lowdiff

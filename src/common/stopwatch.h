@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file stopwatch.h
+/// Monotonic wall-clock stopwatch used by benchmarks and the live engine.
+
+#include <chrono>
+
+namespace lowdiff {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+  double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lowdiff

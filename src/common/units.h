@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file units.h
+/// Byte-size and time units used throughout the simulator configuration.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lowdiff {
+
+constexpr std::uint64_t kKiB = 1024ull;
+constexpr std::uint64_t kMiB = 1024ull * kKiB;
+constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Decimal units, used for network bandwidths quoted in Gbps.
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+/// Converts a link speed in gigabits per second to bytes per second.
+constexpr double gbps_to_bytes_per_sec(double gbps) { return gbps * 1e9 / 8.0; }
+
+/// Human-readable byte count ("1.3G", "82M", "511K", "17B").
+inline std::string format_bytes(std::uint64_t bytes) {
+  auto fmt = [](double v, const char* suffix) {
+    char buf[32];
+    if (v >= 100.0) {
+      std::snprintf(buf, sizeof(buf), "%.0f%s", v, suffix);
+    } else if (v >= 10.0) {
+      std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffix);
+    }
+    return std::string(buf);
+  };
+  const double b = static_cast<double>(bytes);
+  if (b >= static_cast<double>(kGiB)) return fmt(b / static_cast<double>(kGiB), "G");
+  if (b >= static_cast<double>(kMiB)) return fmt(b / static_cast<double>(kMiB), "M");
+  if (b >= static_cast<double>(kKiB)) return fmt(b / static_cast<double>(kKiB), "K");
+  return std::to_string(bytes) + "B";
+}
+
+}  // namespace lowdiff

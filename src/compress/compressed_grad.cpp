@@ -1,0 +1,100 @@
+#include "compress/compressed_grad.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace lowdiff {
+namespace {
+
+template <typename T>
+void append(std::vector<std::byte>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void append_vec(std::vector<std::byte>& out, const std::vector<T>& v) {
+  append(out, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(v.data());
+  out.insert(out.end(), p, p + v.size() * sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T read() {
+    LOWDIFF_ENSURE(pos_ + sizeof(T) <= bytes_.size(), "truncated compressed gradient");
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vec() {
+    const auto n = read<std::uint64_t>();
+    LOWDIFF_ENSURE(pos_ + n * sizeof(T) <= bytes_.size(), "truncated compressed gradient");
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(CompressionScheme scheme) {
+  switch (scheme) {
+    case CompressionScheme::kDense: return "dense";
+    case CompressionScheme::kTopK: return "topk";
+    case CompressionScheme::kRandomK: return "randomk";
+    case CompressionScheme::kQuant8: return "quant8";
+  }
+  return "?";
+}
+
+std::size_t CompressedGrad::byte_size() const {
+  return sizeof(scheme) + sizeof(dense_size) + sizeof(iteration) +
+         indices.size() * sizeof(std::uint32_t) + values.size() * sizeof(float) +
+         scales.size() * sizeof(float) + codes.size();
+}
+
+std::vector<std::byte> CompressedGrad::serialize() const {
+  std::vector<std::byte> out;
+  out.reserve(byte_size() + 4 * sizeof(std::uint64_t));
+  append(out, static_cast<std::uint8_t>(scheme));
+  append(out, dense_size);
+  append(out, iteration);
+  append_vec(out, indices);
+  append_vec(out, values);
+  append_vec(out, scales);
+  append_vec(out, codes);
+  return out;
+}
+
+CompressedGrad CompressedGrad::deserialize(std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  CompressedGrad g;
+  g.scheme = static_cast<CompressionScheme>(r.read<std::uint8_t>());
+  g.dense_size = r.read<std::uint64_t>();
+  g.iteration = r.read<std::uint64_t>();
+  g.indices = r.read_vec<std::uint32_t>();
+  g.values = r.read_vec<float>();
+  g.scales = r.read_vec<float>();
+  g.codes = r.read_vec<std::uint8_t>();
+  LOWDIFF_ENSURE(r.exhausted(), "trailing bytes after compressed gradient");
+  LOWDIFF_ENSURE(g.indices.size() == g.values.size() || g.indices.empty(),
+                 "index/value count mismatch");
+  return g;
+}
+
+}  // namespace lowdiff

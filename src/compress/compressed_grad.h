@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file compressed_grad.h
+/// Self-describing compressed-gradient payload — the object LowDiff reuses
+/// as a differential checkpoint (paper §3.3).  It is what flows through the
+/// ReusingQueue, what the batched writer aggregates, and what the recovery
+/// process decompresses and replays through the optimizer.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lowdiff {
+
+enum class CompressionScheme : std::uint8_t {
+  kDense = 0,    ///< no compression (LowDiff+ path)
+  kTopK = 1,     ///< magnitude sparsification
+  kRandomK = 2,  ///< random sparsification
+  kQuant8 = 3,   ///< 8-bit block quantization
+};
+
+const char* to_string(CompressionScheme scheme);
+
+struct CompressedGrad {
+  CompressionScheme scheme = CompressionScheme::kDense;
+  std::uint64_t dense_size = 0;  ///< element count of the original gradient
+  std::uint64_t iteration = 0;   ///< training iteration that produced it
+
+  /// Sparse schemes: sorted coordinate list + matching values.
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  /// Quantized schemes: one fp32 scale per block + one code byte per element.
+  std::vector<float> scales;
+  std::vector<std::uint8_t> codes;
+
+  /// Wire size in bytes (what a differential checkpoint write transfers).
+  std::size_t byte_size() const;
+
+  /// Serialization used by the storage layer (CRC framing added there).
+  std::vector<std::byte> serialize() const;
+  static CompressedGrad deserialize(std::span<const std::byte> bytes);
+
+  bool operator==(const CompressedGrad& other) const = default;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,26 @@
+#include "compress/error_feedback.h"
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+
+ErrorFeedback::ErrorFeedback(std::unique_ptr<Compressor> inner,
+                             std::size_t dense_size)
+    : inner_(std::move(inner)), residual_(dense_size), scratch_(dense_size) {
+  LOWDIFF_ENSURE(inner_ != nullptr, "null inner compressor");
+}
+
+CompressedGrad ErrorFeedback::compress(std::span<const float> grad,
+                                       std::uint64_t iteration) {
+  LOWDIFF_ENSURE(grad.size() == residual_.size(), "gradient size mismatch");
+  // corrected = grad + residual
+  ops::add(grad, residual_.cspan(), scratch_.span());
+  CompressedGrad payload = inner_->compress(scratch_.cspan(), iteration);
+  // residual = corrected - decompress(payload)
+  inner_->decompress(payload, residual_.span());
+  ops::sub(scratch_.cspan(), residual_.cspan(), residual_.span());
+  return payload;
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file error_feedback.h
+/// Error-feedback (residual accumulation) wrapper around any lossy
+/// compressor.  The residual each iteration is added back into the next
+/// gradient before compression — standard practice for convergent
+/// sparsified training (Stich et al.), and the configuration the paper's
+/// training loop uses implicitly with top-k.
+///
+/// Stateful per worker; not shared across threads.
+
+#include <memory>
+
+#include "compress/compressor.h"
+#include "tensor/tensor.h"
+
+namespace lowdiff {
+
+class ErrorFeedback {
+ public:
+  ErrorFeedback(std::unique_ptr<Compressor> inner, std::size_t dense_size);
+
+  /// Compresses (grad + residual) and updates the residual to what the
+  /// compressed payload failed to represent.  `grad` itself is not mutated.
+  CompressedGrad compress(std::span<const float> grad, std::uint64_t iteration);
+
+  const Compressor& inner() const { return *inner_; }
+  std::span<const float> residual() const { return residual_.span(); }
+  void reset() { residual_.zero(); }
+
+ private:
+  std::unique_ptr<Compressor> inner_;
+  Tensor residual_;
+  Tensor scratch_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,150 @@
+#include "compress/merge.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+std::size_t BatchedGrad::byte_size() const {
+  std::size_t total = 2 * sizeof(std::uint64_t);
+  for (const auto& m : members) total += m.byte_size();
+  return total;
+}
+
+std::vector<std::byte> BatchedGrad::serialize() const {
+  std::vector<std::byte> out;
+  auto append_u64 = [&out](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out.insert(out.end(), p, p + sizeof(v));
+  };
+  append_u64(first_iteration);
+  append_u64(last_iteration);
+  append_u64(members.size());
+  for (const auto& m : members) {
+    const auto bytes = m.serialize();
+    append_u64(bytes.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+BatchedGrad BatchedGrad::deserialize(std::span<const std::byte> bytes) {
+  std::size_t pos = 0;
+  auto read_u64 = [&bytes, &pos]() {
+    LOWDIFF_ENSURE(pos + sizeof(std::uint64_t) <= bytes.size(), "truncated batch");
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + pos, sizeof(v));
+    pos += sizeof(v);
+    return v;
+  };
+  BatchedGrad out;
+  out.first_iteration = read_u64();
+  out.last_iteration = read_u64();
+  const std::uint64_t count = read_u64();
+  out.members.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = read_u64();
+    LOWDIFF_ENSURE(pos + len <= bytes.size(), "truncated batch member");
+    out.members.push_back(CompressedGrad::deserialize(bytes.subspan(pos, len)));
+    pos += len;
+  }
+  LOWDIFF_ENSURE(pos == bytes.size(), "trailing bytes after batch");
+  return out;
+}
+
+namespace {
+
+/// Sorted-coordinate union-sum of two payload coordinate lists.
+void merge_two(const std::vector<std::uint32_t>& ia, const std::vector<float>& va,
+               const std::vector<std::uint32_t>& ib, const std::vector<float>& vb,
+               std::vector<std::uint32_t>& io, std::vector<float>& vo) {
+  io.clear();
+  vo.clear();
+  io.reserve(ia.size() + ib.size());
+  vo.reserve(ia.size() + ib.size());
+  std::size_t a = 0, b = 0;
+  while (a < ia.size() && b < ib.size()) {
+    if (ia[a] < ib[b]) {
+      io.push_back(ia[a]);
+      vo.push_back(va[a]);
+      ++a;
+    } else if (ib[b] < ia[a]) {
+      io.push_back(ib[b]);
+      vo.push_back(vb[b]);
+      ++b;
+    } else {
+      io.push_back(ia[a]);
+      vo.push_back(va[a] + vb[b]);
+      ++a;
+      ++b;
+    }
+  }
+  for (; a < ia.size(); ++a) {
+    io.push_back(ia[a]);
+    vo.push_back(va[a]);
+  }
+  for (; b < ib.size(); ++b) {
+    io.push_back(ib[b]);
+    vo.push_back(vb[b]);
+  }
+}
+
+}  // namespace
+
+CompressedGrad merge_sparse_sum(std::span<const CompressedGrad> payloads) {
+  LOWDIFF_ENSURE(!payloads.empty(), "cannot merge an empty payload set");
+  const std::uint64_t dense_size = payloads.front().dense_size;
+  for (const auto& p : payloads) {
+    LOWDIFF_ENSURE(p.scheme == CompressionScheme::kTopK ||
+                       p.scheme == CompressionScheme::kRandomK,
+                   "merge_sparse_sum requires sparse payloads");
+    LOWDIFF_ENSURE(p.dense_size == dense_size, "mixed dense sizes in merge");
+    LOWDIFF_ENSURE(std::is_sorted(p.indices.begin(), p.indices.end()),
+                   "sparse payload coordinates must be sorted");
+  }
+
+  CompressedGrad out;
+  out.scheme = payloads.front().scheme;
+  out.dense_size = dense_size;
+  out.iteration = payloads.back().iteration;
+  out.indices = payloads.front().indices;
+  out.values = payloads.front().values;
+
+  // Left fold of sorted two-pointer merges: O(k · total) with contiguous
+  // memory — this is the hot path of batched writes, sparse allreduce, and
+  // pairwise parallel recovery.
+  std::vector<std::uint32_t> scratch_idx;
+  std::vector<float> scratch_val;
+  for (std::size_t p = 1; p < payloads.size(); ++p) {
+    merge_two(out.indices, out.values, payloads[p].indices, payloads[p].values,
+              scratch_idx, scratch_val);
+    out.indices.swap(scratch_idx);
+    out.values.swap(scratch_val);
+  }
+  return out;
+}
+
+void accumulate_decompressed(const Compressor& comp, const CompressedGrad& payload,
+                             std::span<float> out) {
+  LOWDIFF_ENSURE(out.size() == payload.dense_size, "accumulate size mismatch");
+  switch (payload.scheme) {
+    case CompressionScheme::kTopK:
+    case CompressionScheme::kRandomK:
+      for (std::size_t i = 0; i < payload.indices.size(); ++i) {
+        out[payload.indices[i]] += payload.values[i];
+      }
+      return;
+    case CompressionScheme::kDense:
+    case CompressionScheme::kQuant8: {
+      std::vector<float> tmp(out.size());
+      comp.decompress(payload, tmp);
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += tmp[i];
+      return;
+    }
+  }
+  LOWDIFF_UNREACHABLE("unknown compression scheme");
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,64 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+TopKCompressor::TopKCompressor(double ratio) : ratio_(ratio) {
+  LOWDIFF_ENSURE(ratio > 0.0 && ratio <= 1.0, "top-k ratio must be in (0, 1]");
+}
+
+std::size_t TopKCompressor::k_for(std::size_t n) const {
+  if (n == 0) return 0;
+  const auto k = static_cast<std::size_t>(std::llround(ratio_ * static_cast<double>(n)));
+  return std::clamp<std::size_t>(k, 1, n);
+}
+
+CompressedGrad TopKCompressor::compress(std::span<const float> grad,
+                                        std::uint64_t iteration) const {
+  CompressedGrad out;
+  out.scheme = CompressionScheme::kTopK;
+  out.dense_size = grad.size();
+  out.iteration = iteration;
+  const std::size_t k = k_for(grad.size());
+  if (k == 0) return out;
+
+  std::vector<std::uint32_t> order(grad.size());
+  std::iota(order.begin(), order.end(), 0u);
+  auto by_magnitude = [&grad](std::uint32_t a, std::uint32_t b) {
+    const float fa = std::fabs(grad[a]);
+    const float fb = std::fabs(grad[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;  // deterministic tie-break
+  };
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k) - 1,
+                   order.end(), by_magnitude);
+  order.resize(k);
+  std::sort(order.begin(), order.end());  // ascending coordinates on the wire
+
+  out.indices = std::move(order);
+  out.values.reserve(k);
+  for (std::uint32_t idx : out.indices) out.values.push_back(grad[idx]);
+  return out;
+}
+
+void TopKCompressor::decompress(const CompressedGrad& payload,
+                                std::span<float> out) const {
+  LOWDIFF_ENSURE(payload.scheme == CompressionScheme::kTopK,
+                 "payload scheme mismatch");
+  LOWDIFF_ENSURE(out.size() == payload.dense_size, "decompress size mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t i = 0; i < payload.indices.size(); ++i) {
+    out[payload.indices[i]] = payload.values[i];
+  }
+}
+
+std::string TopKCompressor::name() const {
+  return "topk(rho=" + std::to_string(ratio_) + ")";
+}
+
+}  // namespace lowdiff

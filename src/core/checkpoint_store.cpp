@@ -1,0 +1,323 @@
+#include "core/checkpoint_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "storage/serializer.h"
+
+namespace lowdiff {
+namespace {
+
+std::string pad(std::uint64_t iter) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(iter));
+  return buf;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::shared_ptr<StorageBackend> backend)
+    : backend_(std::move(backend)) {
+  LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
+}
+
+std::string CheckpointStore::full_key(std::uint64_t iter) {
+  return "full/" + pad(iter);
+}
+
+std::string CheckpointStore::diff_key(std::uint64_t iter) {
+  return "diff/" + pad(iter);
+}
+
+std::string CheckpointStore::batch_key(std::uint64_t first, std::uint64_t last) {
+  return "batch/" + pad(first) + "_" + pad(last);
+}
+
+std::string CheckpointStore::shard_key(std::uint64_t iter, std::uint32_t rank,
+                                       std::uint32_t world) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "fullshard/%012llu_%04u_%04u",
+                static_cast<unsigned long long>(iter), rank, world);
+  return buf;
+}
+
+void CheckpointStore::put_full(std::uint64_t iter, const ModelState& state) {
+  const auto bytes = serialize_model_state(state);
+  backend_->write(full_key(iter), bytes);
+}
+
+namespace {
+
+/// Element range [lo, hi) owned by `rank` of `world` in a flat vector.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n, std::uint32_t rank,
+                                                std::uint32_t world) {
+  const std::size_t lo = n * rank / world;
+  const std::size_t hi = n * (rank + 1) / world;
+  return {lo, hi};
+}
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void append_slice(std::vector<std::byte>& out, std::span<const float> v) {
+  const auto* p = reinterpret_cast<const std::byte*>(v.data());
+  out.insert(out.end(), p, p + v.size_bytes());
+}
+
+template <typename T>
+T read_pod(std::span<const std::byte> bytes, std::size_t& pos) {
+  LOWDIFF_ENSURE(pos + sizeof(T) <= bytes.size(), "truncated shard");
+  T v;
+  std::memcpy(&v, bytes.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+void CheckpointStore::put_full_shard(std::uint64_t iter, std::uint32_t rank,
+                                     std::uint32_t world,
+                                     const ModelState& state) {
+  LOWDIFF_ENSURE(world >= 1 && rank < world, "bad shard coordinates");
+  const auto [lo, hi] = shard_range(state.param_count(), rank, world);
+  const std::size_t count = hi - lo;
+
+  std::vector<std::byte> payload;
+  payload.reserve(3 * count * sizeof(float) + 64);
+  append_pod(payload, iter);
+  append_pod(payload, rank);
+  append_pod(payload, world);
+  append_pod(payload, state.step());
+  append_pod(payload, static_cast<std::uint64_t>(state.param_count()));
+  append_pod(payload, static_cast<std::uint64_t>(lo));
+  append_pod(payload, static_cast<std::uint64_t>(count));
+  append_slice(payload, state.params().cspan().subspan(lo, count));
+  append_slice(payload, state.moment1().span().subspan(lo, count));
+  append_slice(payload, state.moment2().span().subspan(lo, count));
+  backend_->write(shard_key(iter, rank, world),
+                  frame(RecordType::kFullShard, payload));
+}
+
+void CheckpointStore::put_diff(const CompressedGrad& grad) {
+  const auto bytes = serialize_diff(grad);
+  backend_->write(diff_key(grad.iteration), bytes);
+}
+
+void CheckpointStore::put_batch(const BatchedGrad& batch) {
+  LOWDIFF_ENSURE(!batch.members.empty(), "empty batch");
+  const auto bytes = serialize_batch(batch);
+  backend_->write(batch_key(batch.first_iteration, batch.last_iteration), bytes);
+}
+
+bool CheckpointStore::parse_key(const std::string& key, char& kind,
+                                std::uint64_t& a, std::uint64_t& b) {
+  unsigned long long x = 0, y = 0;
+  if (std::sscanf(key.c_str(), "full/%llu", &x) == 1) {
+    kind = 'f';
+    a = x;
+    return true;
+  }
+  if (std::sscanf(key.c_str(), "diff/%llu", &x) == 1) {
+    kind = 'd';
+    a = x;
+    return true;
+  }
+  if (std::sscanf(key.c_str(), "batch/%llu_%llu", &x, &y) == 2) {
+    kind = 'b';
+    a = x;
+    b = y;
+    return true;
+  }
+  unsigned rank = 0, world = 0;
+  if (std::sscanf(key.c_str(), "fullshard/%llu_%u_%u", &x, &rank, &world) == 3) {
+    kind = 's';
+    a = x;
+    b = (static_cast<std::uint64_t>(world) << 32) | rank;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> CheckpointStore::complete_shard_sets() const {
+  // iter -> (world, ranks seen)
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::set<std::uint32_t>>> seen;
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (!parse_key(key, kind, a, b) || kind != 's') continue;
+    const auto world = static_cast<std::uint32_t>(b >> 32);
+    const auto rank = static_cast<std::uint32_t>(b & 0xFFFFFFFFu);
+    auto& entry = seen[a];
+    entry.first = world;
+    entry.second.insert(rank);
+  }
+  std::vector<std::uint64_t> complete;
+  for (const auto& [iter, entry] : seen) {
+    if (entry.first > 0 && entry.second.size() == entry.first) {
+      complete.push_back(iter);
+    }
+  }
+  return complete;  // std::map iteration => ascending
+}
+
+std::optional<std::uint64_t> CheckpointStore::latest_full() const {
+  std::optional<std::uint64_t> latest;
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (parse_key(key, kind, a, b) && kind == 'f') {
+      if (!latest.has_value() || a > *latest) latest = a;
+    }
+  }
+  // Sharded full checkpoints count only when every shard is present.
+  for (std::uint64_t iter : complete_shard_sets()) {
+    if (!latest.has_value() || iter > *latest) latest = iter;
+  }
+  return latest;
+}
+
+std::vector<std::uint64_t> CheckpointStore::diffs_after(std::uint64_t iter) const {
+  std::vector<std::uint64_t> result;
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (!parse_key(key, kind, a, b)) continue;
+    if (kind == 'd' && a > iter) {
+      result.push_back(a);
+    } else if (kind == 'b' && b > iter) {
+      for (std::uint64_t i = std::max(a, iter + 1); i <= b; ++i) {
+        result.push_back(i);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+ModelState CheckpointStore::read_full(std::uint64_t iter,
+                                      const ModelSpec& spec) const {
+  if (auto bytes = backend_->read(full_key(iter)); bytes.has_value()) {
+    return deserialize_model_state(*bytes, spec);
+  }
+  // Assemble from shards.  Discover the world size from any shard key.
+  std::uint32_t world = 0;
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (parse_key(key, kind, a, b) && kind == 's' && a == iter) {
+      world = static_cast<std::uint32_t>(b >> 32);
+      break;
+    }
+  }
+  LOWDIFF_ENSURE(world > 0, "missing full checkpoint " + full_key(iter));
+
+  ModelState state(spec);
+  std::size_t assembled = 0;
+  for (std::uint32_t rank = 0; rank < world; ++rank) {
+    auto bytes = backend_->read(shard_key(iter, rank, world));
+    LOWDIFF_ENSURE(bytes.has_value(),
+                   "incomplete sharded checkpoint at iteration " +
+                       std::to_string(iter));
+    auto [type, payload] = unframe(*bytes);
+    LOWDIFF_ENSURE(type == RecordType::kFullShard, "not a checkpoint shard");
+    std::size_t pos = 0;
+    const auto shard_iter = read_pod<std::uint64_t>(payload, pos);
+    const auto shard_rank = read_pod<std::uint32_t>(payload, pos);
+    const auto shard_world = read_pod<std::uint32_t>(payload, pos);
+    const auto step = read_pod<std::uint64_t>(payload, pos);
+    const auto param_count = read_pod<std::uint64_t>(payload, pos);
+    const auto lo = read_pod<std::uint64_t>(payload, pos);
+    const auto count = read_pod<std::uint64_t>(payload, pos);
+    LOWDIFF_ENSURE(shard_iter == iter && shard_rank == rank && shard_world == world,
+                   "shard metadata mismatch");
+    LOWDIFF_ENSURE(param_count == spec.param_count(),
+                   "shard parameter count does not match model spec");
+    LOWDIFF_ENSURE(lo + count <= param_count, "shard range out of bounds");
+    LOWDIFF_ENSURE(pos + 3 * count * sizeof(float) == payload.size(),
+                   "shard payload size mismatch");
+    auto copy_slice = [&payload, &pos](std::span<float> dst) {
+      if (!dst.empty()) {
+        std::memcpy(dst.data(), payload.data() + pos, dst.size_bytes());
+      }
+      pos += dst.size_bytes();
+    };
+    copy_slice(state.params().span().subspan(lo, count));
+    copy_slice(state.moment1().span().subspan(lo, count));
+    copy_slice(state.moment2().span().subspan(lo, count));
+    state.set_step(step);
+    assembled += count;
+  }
+  LOWDIFF_ENSURE(assembled == spec.param_count(), "shards do not cover the state");
+  return state;
+}
+
+std::optional<CheckpointStore::BatchRef> CheckpointStore::batch_containing(
+    std::uint64_t iter) const {
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (parse_key(key, kind, a, b) && kind == 'b' && a <= iter && iter <= b) {
+      return BatchRef{a, b, key};
+    }
+  }
+  return std::nullopt;
+}
+
+CompressedGrad CheckpointStore::read_diff(std::uint64_t iter) const {
+  if (auto bytes = backend_->read(diff_key(iter)); bytes.has_value()) {
+    return deserialize_diff(*bytes);
+  }
+  const auto ref = batch_containing(iter);
+  LOWDIFF_ENSURE(ref.has_value(),
+                 "missing differential checkpoint for iteration " +
+                     std::to_string(iter));
+  auto bytes = backend_->read(ref->key);
+  LOWDIFF_ENSURE(bytes.has_value(), "missing batch " + ref->key);
+  const BatchedGrad batch = deserialize_batch(*bytes);
+  for (const auto& member : batch.members) {
+    if (member.iteration == iter) return member;
+  }
+  throw Error("batch " + ref->key + " does not contain iteration " +
+                  std::to_string(iter),
+              std::source_location::current());
+}
+
+void CheckpointStore::prune_before(std::uint64_t iter) {
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (!parse_key(key, kind, a, b)) continue;
+    const bool obsolete = (kind == 'f' && a < iter) || (kind == 'd' && a <= iter) ||
+                          (kind == 'b' && b <= iter) || (kind == 's' && a < iter);
+    if (obsolete) backend_->remove(key);
+  }
+}
+
+CheckpointStore::Usage CheckpointStore::usage() const {
+  Usage usage;
+  for (const auto& key : backend_->list()) {
+    char kind;
+    std::uint64_t a = 0, b = 0;
+    if (!parse_key(key, kind, a, b)) continue;
+    const auto bytes = backend_->read(key);
+    if (!bytes.has_value()) continue;
+    if (kind == 'f' || kind == 's') {
+      usage.full_bytes += bytes->size();
+      if (kind == 'f') ++usage.full_count;
+    } else {
+      usage.diff_bytes += bytes->size();
+      usage.diff_count += (kind == 'b') ? (b - a + 1) : 1;
+    }
+  }
+  return usage;
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file checkpoint_store.h
+/// Naming scheme and manifest over a StorageBackend for full, differential,
+/// and batched-differential checkpoints.  Keys embed zero-padded iteration
+/// numbers so a lexicographic listing is a chronological manifest — the
+/// recovery process scans it to find the latest full checkpoint and every
+/// differential after it (Eq. 2).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/compressed_grad.h"
+#include "compress/merge.h"
+#include "model/model_state.h"
+#include "storage/backend.h"
+
+namespace lowdiff {
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::shared_ptr<StorageBackend> backend);
+
+  StorageBackend& backend() { return *backend_; }
+  const StorageBackend& backend() const { return *backend_; }
+  std::shared_ptr<StorageBackend> backend_ptr() const { return backend_; }
+
+  // --- writes -------------------------------------------------------------
+
+  /// Persists a full checkpoint of `state` taken after iteration `iter`.
+  void put_full(std::uint64_t iter, const ModelState& state);
+
+  /// Sharded full checkpoint: rank `rank` of `world` persists its slice of
+  /// the flat state (params + moments are split by the same element range).
+  /// A sharded checkpoint is only *visible* to latest_full()/read_full()
+  /// once all `world` shards are present, so a failure mid-save can never
+  /// be recovered from half a checkpoint.
+  void put_full_shard(std::uint64_t iter, std::uint32_t rank, std::uint32_t world,
+                      const ModelState& state);
+
+  /// Persists one differential checkpoint (a reused compressed gradient).
+  void put_diff(const CompressedGrad& grad);
+
+  /// Persists a batched differential checkpoint C^B.
+  void put_batch(const BatchedGrad& batch);
+
+  /// Pre-serialized variants for async write paths.
+  static std::string full_key(std::uint64_t iter);
+  static std::string diff_key(std::uint64_t iter);
+  static std::string batch_key(std::uint64_t first, std::uint64_t last);
+  static std::string shard_key(std::uint64_t iter, std::uint32_t rank,
+                               std::uint32_t world);
+
+  // --- manifest -----------------------------------------------------------
+
+  /// Iteration of the most recent full checkpoint, if any.
+  std::optional<std::uint64_t> latest_full() const;
+
+  /// Iterations of all differential checkpoints (batch members expanded)
+  /// strictly after `iter`, ascending.
+  std::vector<std::uint64_t> diffs_after(std::uint64_t iter) const;
+
+  /// Iterations whose sharded full checkpoints are complete (every rank's
+  /// shard present), ascending.  Incomplete sets are invisible to
+  /// latest_full().
+  std::vector<std::uint64_t> complete_shard_sets() const;
+
+  // --- reads --------------------------------------------------------------
+
+  ModelState read_full(std::uint64_t iter, const ModelSpec& spec) const;
+
+  /// Reads the differential for iteration `iter`, whether it was stored
+  /// standalone or inside a batch.
+  CompressedGrad read_diff(std::uint64_t iter) const;
+
+  // --- maintenance ---------------------------------------------------------
+
+  /// Deletes checkpoints made obsolete by the full checkpoint at `iter`
+  /// (older fulls and all differentials at or before `iter`).
+  void prune_before(std::uint64_t iter);
+
+  /// Total bytes currently stored, split by kind (Exp. 7 storage table).
+  struct Usage {
+    std::uint64_t full_bytes = 0;
+    std::uint64_t diff_bytes = 0;
+    std::uint64_t full_count = 0;
+    std::uint64_t diff_count = 0;
+  };
+  Usage usage() const;
+
+ private:
+  struct BatchRef {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    std::string key;
+  };
+
+  /// Parses a manifest key; returns false for unrelated keys.
+  static bool parse_key(const std::string& key, char& kind, std::uint64_t& a,
+                        std::uint64_t& b);
+
+  std::optional<BatchRef> batch_containing(std::uint64_t iter) const;
+
+  std::shared_ptr<StorageBackend> backend_;
+};
+
+}  // namespace lowdiff

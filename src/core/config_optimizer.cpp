@@ -1,0 +1,95 @@
+#include "core/config_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+double wasted_time_model(const WastedTimeParams& p, double f, double b) {
+  LOWDIFF_ENSURE(f > 0.0 && b > 0.0, "f and b must be positive");
+  const double failures = p.total_train_sec / p.mtbf_sec;
+  const double recovery =
+      p.num_gpus * failures *
+      (b / 2.0 + p.load_full_sec +
+       p.merge_diff_sec / 2.0 * (1.0 / (f * b) - 1.0));
+  const double steady =
+      p.num_gpus * p.total_train_sec * p.full_ckpt_bytes * f / p.write_bw;
+  return recovery + steady;
+}
+
+std::pair<double, double> optimal_config(const WastedTimeParams& p) {
+  const double f_star = std::cbrt(p.merge_diff_sec * p.write_bw * p.write_bw /
+                                  (4.0 * p.full_ckpt_bytes * p.full_ckpt_bytes *
+                                   p.mtbf_sec * p.mtbf_sec));
+  const double b_star = std::cbrt(2.0 * p.full_ckpt_bytes * p.merge_diff_sec *
+                                  p.mtbf_sec / p.write_bw);
+  return {f_star, b_star};
+}
+
+IterationConfig to_iteration_config(const WastedTimeParams& p,
+                                    double iter_time_sec) {
+  LOWDIFF_ENSURE(iter_time_sec > 0.0, "iteration time must be positive");
+  const auto [f_star, b_star] = optimal_config(p);
+  IterationConfig cfg;
+  // f* checkpoints per second => 1/f* seconds between checkpoints.
+  cfg.full_interval = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(1.0 / (f_star * iter_time_sec))));
+  cfg.batch_size = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(b_star / iter_time_sec)));
+  // The batch must fit inside the full-checkpoint interval.
+  cfg.batch_size = std::min<std::uint64_t>(cfg.batch_size, cfg.full_interval);
+  return cfg;
+}
+
+ConfigTuner::ConfigTuner(WastedTimeParams initial, double iter_time_sec)
+    : params_(initial), iter_time_sec_(iter_time_sec) {
+  LOWDIFF_ENSURE(iter_time_sec > 0.0, "iteration time must be positive");
+}
+
+void ConfigTuner::observe_mtbf(double measured_mtbf_sec) {
+  LOWDIFF_ENSURE(measured_mtbf_sec > 0.0, "mtbf must be positive");
+  params_.mtbf_sec =
+      (1.0 - smoothing_) * params_.mtbf_sec + smoothing_ * measured_mtbf_sec;
+}
+
+void ConfigTuner::observe_write_bandwidth(double measured_bw) {
+  LOWDIFF_ENSURE(measured_bw > 0.0, "bandwidth must be positive");
+  params_.write_bw =
+      (1.0 - smoothing_) * params_.write_bw + smoothing_ * measured_bw;
+}
+
+IterationConfig ConfigTuner::recommend() const {
+  IterationConfig best = to_iteration_config(params_, iter_time_sec_);
+  // Hill-climb the discrete neighborhood of the continuous optimum under
+  // the Eq. (3) model (stepwise adjustment of §6).
+  auto cost = [this](const IterationConfig& c) {
+    const double f = 1.0 / (static_cast<double>(c.full_interval) * iter_time_sec_);
+    const double b = static_cast<double>(c.batch_size) * iter_time_sec_;
+    return wasted_time_model(params_, f, b);
+  };
+  double best_cost = cost(best);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const IterationConfig candidates[] = {
+        {best.full_interval + 1, best.batch_size},
+        {best.full_interval > 1 ? best.full_interval - 1 : 1, best.batch_size},
+        {best.full_interval, best.batch_size + 1},
+        {best.full_interval, best.batch_size > 1 ? best.batch_size - 1 : 1},
+    };
+    for (const auto& c : candidates) {
+      if (c.batch_size > c.full_interval) continue;
+      const double candidate_cost = cost(c);
+      if (candidate_cost + 1e-12 < best_cost) {
+        best = c;
+        best_cost = candidate_cost;
+        improved = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lowdiff

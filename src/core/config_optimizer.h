@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file config_optimizer.h
+/// The Optimal Configuration module (paper §4.3): the closed-form wasted
+/// time model of Eq. (3) in full-checkpoint frequency f (checkpoints per
+/// second) and batching size b (seconds of gradients per batched write),
+/// its analytic minimizer Eq. (5), and the stepwise runtime tuner the
+/// implementation section describes.
+
+#include <cstdint>
+#include <utility>
+
+namespace lowdiff {
+
+/// Constant system parameters of Eq. (3) (paper's notation in brackets).
+struct WastedTimeParams {
+  double num_gpus = 8;            ///< N
+  double mtbf_sec = 3600.0;       ///< M
+  double write_bw = 2.0e9;        ///< W, checkpoint write bandwidth (B/s)
+  double full_ckpt_bytes = 1e9;   ///< S
+  double total_train_sec = 86400; ///< T
+  double load_full_sec = 1.0;     ///< R_F
+  double merge_diff_sec = 0.05;   ///< R_D
+};
+
+/// Eq. (3): T_wasted(f, b) =
+///   N·T/M · ( b/2 + R_F + R_D/2·(1/(f·b) − 1) ) + N·T·S·f / W
+/// `f` in full checkpoints per second, `b` in seconds per batch.
+double wasted_time_model(const WastedTimeParams& p, double f, double b);
+
+/// Eq. (5): the stationary point
+///   f* = cbrt( R_D·W² / (4·S²·M²) ),  b* = cbrt( 2·S·R_D·M / W ).
+std::pair<double, double> optimal_config(const WastedTimeParams& p);
+
+/// Converts the continuous optimum into iteration-granular settings for a
+/// training loop with the given per-iteration time: the full-checkpoint
+/// interval (iterations between full checkpoints, >= 1) and the batching
+/// size in differentials per write (>= 1).
+struct IterationConfig {
+  std::uint64_t full_interval = 1;
+  std::uint64_t batch_size = 1;
+};
+IterationConfig to_iteration_config(const WastedTimeParams& p,
+                                    double iter_time_sec);
+
+/// Stepwise runtime tuner (§6 "Optimal configuration module"): starts from
+/// the analytic optimum and adapts multiplicatively as runtime estimates of
+/// the failure rate and write bandwidth drift.  Pure logic, no threads —
+/// callers feed observations and read the recommended configuration.
+class ConfigTuner {
+ public:
+  ConfigTuner(WastedTimeParams initial, double iter_time_sec);
+
+  /// Exponentially-smoothed runtime observations.
+  void observe_mtbf(double measured_mtbf_sec);
+  void observe_write_bandwidth(double measured_bw);
+
+  /// Current recommendation (recomputed analytically after observations,
+  /// then nudged by hill-climbing on the Eq. (3) model so the discrete
+  /// neighborhood of the continuous optimum is explored).
+  IterationConfig recommend() const;
+
+  const WastedTimeParams& params() const { return params_; }
+
+ private:
+  WastedTimeParams params_;
+  double iter_time_sec_;
+  double smoothing_ = 0.3;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file recovery.h
+/// Recovery engines (paper Algorithm 1 "Recovery Process" + the parallel
+/// recovery module of §6 / Fig. 7).
+///
+/// Serial recovery replays each differential through the optimizer:
+///   M_t  = load(C^F);  M_{j+1} = M_j + Opt(decompress(C^D_j))
+/// which reproduces the training-time state transitions *bit-exactly*,
+/// because training applied the very same synchronized payloads (Finding 1).
+///
+/// Parallel recovery overlaps the expensive part — reading and unpacking
+/// differentials from storage — across a thread pool, and for *state-free*
+/// optimizers (plain SGD, whose per-iteration deltas compose additively)
+/// also merges differentials pairwise in ⌈log₂ n⌉ rounds before a single
+/// apply.  For stateful optimizers (Adam) the replay itself stays ordered,
+/// which is required for exactness; the tests pin both equivalences.
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "compress/compressor.h"
+#include "core/checkpoint_store.h"
+#include "model/model_state.h"
+#include "optim/optimizer.h"
+
+namespace lowdiff {
+
+struct RecoveryReport {
+  std::uint64_t full_iteration = 0;   ///< iteration of the loaded full ckpt
+  std::uint64_t final_iteration = 0;  ///< iteration after replay
+  std::uint64_t diffs_replayed = 0;
+  std::uint64_t merge_rounds = 0;     ///< parallel pairwise merge rounds
+};
+
+class RecoveryEngine {
+ public:
+  /// `optimizer` and `compressor` must match what training used.
+  RecoveryEngine(ModelSpec spec, std::unique_ptr<Optimizer> optimizer,
+                 std::unique_ptr<Compressor> compressor);
+
+  /// Serial recovery (Algorithm 1 lines 17–24).
+  ModelState recover_serial(const CheckpointStore& store,
+                            RecoveryReport* report = nullptr) const;
+
+  /// Parallel recovery: loads + decompresses every differential on `pool`
+  /// concurrently, then replays in order.  Bit-identical to
+  /// recover_serial() for any optimizer.
+  ModelState recover_parallel(const CheckpointStore& store, ThreadPool& pool,
+                              RecoveryReport* report = nullptr) const;
+
+  /// Additive fast path (Fig. 7's pairwise merging): valid when one
+  /// optimizer step is a state-free linear function of the gradient
+  /// (plain SGD: Δ = −lr·G).  Differentials are merged pairwise in
+  /// ⌈log₂ n⌉ rounds on `pool` and applied in one shot.
+  /// `lr` must equal the training learning rate.
+  ModelState recover_parallel_additive(const CheckpointStore& store,
+                                       ThreadPool& pool, float lr,
+                                       RecoveryReport* report = nullptr) const;
+
+ private:
+  ModelSpec spec_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<Compressor> compressor_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,189 @@
+#include "core/trainer.h"
+
+#include <thread>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "compress/dense.h"
+#include "compress/quant8.h"
+#include "compress/randomk.h"
+#include "compress/topk.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+
+Trainer::Trainer(MlpConfig mlp_config, TrainerConfig config)
+    : net_(std::move(mlp_config)), config_(config),
+      dataset_(net_.spec().layers.front().shape[1],  // fc0.weight is {out, in}
+               net_.spec().layers.back().shape[0],   // last bias is {classes}
+               config.seed),
+      adam_(config.adam) {
+  LOWDIFF_ENSURE(config_.world >= 1, "world must be >= 1");
+  if (config_.rho <= 0.0) config_.compression = GradCompression::kDense;
+  switch (config_.compression) {
+    case GradCompression::kTopK:
+      compressor_ = std::make_unique<TopKCompressor>(config_.rho);
+      break;
+    case GradCompression::kRandomK:
+      compressor_ = std::make_unique<RandomKCompressor>(config_.rho, config_.seed);
+      break;
+    case GradCompression::kQuant8:
+      compressor_ = std::make_unique<Quant8Compressor>();
+      break;
+    case GradCompression::kDense:
+      compressor_ = std::make_unique<DenseCompressor>();
+      config_.rho = 0.0;
+      break;
+  }
+  states_.reserve(config_.world);
+  for (std::size_t r = 0; r < config_.world; ++r) {
+    ModelState state(net_.spec());
+    state.init_random(config_.seed);  // identical across ranks
+    states_.push_back(std::move(state));
+    const bool sparse = config_.compression == GradCompression::kTopK ||
+                        config_.compression == GradCompression::kRandomK;
+    if (config_.error_feedback && sparse) {
+      feedback_.push_back(std::make_unique<ErrorFeedback>(
+          compressor_->clone(), net_.spec().param_count()));
+    } else {
+      feedback_.push_back(nullptr);
+    }
+  }
+}
+
+const ModelState& Trainer::state(std::size_t rank) const {
+  LOWDIFF_ENSURE(rank < states_.size(), "rank out of range");
+  return states_[rank];
+}
+
+void Trainer::set_state(const ModelState& state) {
+  for (auto& s : states_) s = state.clone();
+  for (auto& fb : feedback_) {
+    if (fb != nullptr) fb->reset();
+  }
+}
+
+double Trainer::eval_loss(std::uint64_t batch_index) const {
+  std::vector<float> inputs;
+  std::vector<std::uint32_t> labels;
+  dataset_.batch(batch_index, 256, inputs, labels);
+  return net_.forward(states_[0], inputs, labels);
+}
+
+double Trainer::eval_accuracy(std::uint64_t batch_index) const {
+  std::vector<float> inputs;
+  std::vector<std::uint32_t> labels;
+  dataset_.batch(batch_index, 256, inputs, labels);
+  return net_.accuracy(states_[0], inputs, labels);
+}
+
+TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
+                         CheckpointStrategy* strategy,
+                         LowDiffPlusStrategy* layerwise) {
+  LOWDIFF_ENSURE(layerwise == nullptr || config_.rho == 0.0,
+                 "layer-wise streaming requires the dense (rho = 0) regime");
+  TrainResult result;
+  result.losses.assign(num_iters, 0.0);
+  if (num_iters == 0) return result;
+
+  CommGroup comm(config_.world);
+  const auto offsets = net_.spec().layer_offsets();
+  Stopwatch wall;
+  double stall_total = 0.0;
+
+  auto worker = [&](std::size_t rank) {
+    ModelState& state = states_[rank];
+    Tensor grad(net_.spec().param_count());
+    Tensor dense(net_.spec().param_count());
+    std::vector<float> inputs;
+    std::vector<std::uint32_t> labels;
+    double stall = 0.0;
+
+    for (std::uint64_t i = 0; i < num_iters; ++i) {
+      const std::uint64_t iter = start_iter + i;
+
+      // Data-parallel shard: every (iteration, rank) pair gets its own
+      // deterministic batch, so a recovered run replays the same stream.
+      dataset_.batch(iter * config_.world + rank, config_.batch_size, inputs,
+                     labels);
+      grad.zero();
+      const double loss = net_.loss_and_gradient(state, inputs, labels, grad);
+      if (rank == 0) result.losses[i] = loss;
+
+      std::shared_ptr<const CompressedGrad> payload;
+      if (config_.compression == GradCompression::kTopK ||
+          config_.compression == GradCompression::kRandomK) {
+        // Compress (optionally error-corrected), synchronize, average.
+        CompressedGrad local =
+            feedback_[rank] != nullptr
+                ? feedback_[rank]->compress(grad.cspan(), iter)
+                : compressor_->compress(grad.cspan(), iter);
+        CompressedGrad merged = comm.allreduce_sparse(rank, local);
+        const float inv_world = 1.0f / static_cast<float>(config_.world);
+        for (auto& v : merged.values) v *= inv_world;
+        merged.iteration = iter;
+        payload = std::make_shared<const CompressedGrad>(std::move(merged));
+        compressor_->decompress(*payload, dense.span());
+        adam_.step(state, dense.cspan());
+      } else if (config_.compression == GradCompression::kQuant8) {
+        // Quantized regime: synchronize densely, quantize the synchronized
+        // gradient (bit-identical on every rank), and train on the
+        // *dequantized* values so recovery replays the exact update.
+        comm.allreduce_sum(rank, grad.span());
+        ops::scale(grad.span(), 1.0f / static_cast<float>(config_.world));
+        payload = std::make_shared<const CompressedGrad>(
+            compressor_->compress(grad.cspan(), iter));
+        compressor_->decompress(*payload, dense.span());
+        adam_.step(state, dense.cspan());
+      } else {
+        comm.allreduce_sum(rank, grad.span());
+        ops::scale(grad.span(), 1.0f / static_cast<float>(config_.world));
+        adam_.step(state, grad.cspan());
+        if (rank == 0 && (strategy != nullptr || layerwise != nullptr)) {
+          DenseCompressor dense_comp;
+          auto wrapped = dense_comp.compress(grad.cspan(), iter);
+          payload = std::make_shared<const CompressedGrad>(std::move(wrapped));
+        }
+      }
+
+      if (rank == 0) {
+        Stopwatch sw;
+        if (layerwise != nullptr) {
+          // Stream per-layer chunks in reverse layer order, mirroring the
+          // backward pass (Fig. 5).  The first layer emitted is the last
+          // produced chunk of the iteration... reversed: layer L-1 first,
+          // layer 0 last, which carries last_of_iteration.
+          LOWDIFF_CHECK(payload != nullptr);
+          const auto& values = payload->values;
+          for (std::size_t l = net_.spec().layers.size(); l-- > 0;) {
+            LowDiffPlusStrategy::GradChunk chunk;
+            chunk.iteration = iter;
+            chunk.offset = offsets[l];
+            chunk.values.assign(values.begin() + static_cast<std::ptrdiff_t>(offsets[l]),
+                                values.begin() + static_cast<std::ptrdiff_t>(offsets[l + 1]));
+            chunk.last_of_iteration = (l == 0);
+            layerwise->on_layer_gradient(std::move(chunk));
+          }
+        } else if (strategy != nullptr) {
+          strategy->after_step(iter, state, payload);
+        }
+        stall += sw.elapsed_sec();
+      }
+      comm.barrier();  // keep ranks in lockstep iteration-to-iteration
+    }
+    if (rank == 0) stall_total = stall;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.world);
+  for (std::size_t r = 0; r < config_.world; ++r) {
+    threads.emplace_back(worker, r);
+  }
+  for (auto& t : threads) t.join();
+
+  result.wall_seconds = wall.elapsed_sec();
+  result.stall_seconds = stall_total;
+  return result;
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,35 @@
+#include "model/dataset.h"
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+SyntheticDataset::SyntheticDataset(std::size_t input_dim, std::size_t num_classes,
+                                   std::uint64_t seed, float spread)
+    : input_dim_(input_dim), num_classes_(num_classes), seed_(seed), spread_(spread) {
+  LOWDIFF_ENSURE(input_dim_ > 0 && num_classes_ > 1, "invalid dataset dimensions");
+  centers_.resize(num_classes_ * input_dim_);
+  SplitMix64 sm(seed_);
+  Xoshiro256 rng(sm.next());
+  for (auto& c : centers_) c = static_cast<float>(rng.normal());
+}
+
+void SyntheticDataset::batch(std::uint64_t batch_index, std::size_t batch_size,
+                             std::vector<float>& inputs,
+                             std::vector<std::uint32_t>& labels) const {
+  inputs.resize(batch_size * input_dim_);
+  labels.resize(batch_size);
+  SplitMix64 sm(seed_ ^ (batch_index * 0xD1B54A32D192ED03ull + 1));
+  Xoshiro256 rng(sm.next());
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const auto cls = static_cast<std::uint32_t>(rng.uniform_below(num_classes_));
+    labels[b] = cls;
+    const float* center = centers_.data() + cls * input_dim_;
+    float* row = inputs.data() + b * input_dim_;
+    for (std::size_t i = 0; i < input_dim_; ++i) {
+      row[i] = center[i] + static_cast<float>(rng.normal()) * spread_;
+    }
+  }
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,43 @@
+#include "model/grad_gen.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+
+SyntheticGradientGenerator::SyntheticGradientGenerator(const ModelSpec& spec,
+                                                       std::uint64_t seed)
+    : spec_(spec), offsets_(spec.layer_offsets()), seed_(seed) {}
+
+void SyntheticGradientGenerator::generate_layer(std::uint64_t iteration,
+                                                std::uint32_t worker,
+                                                std::size_t layer,
+                                                std::span<float> out) const {
+  LOWDIFF_ENSURE(layer < spec_.layers.size(), "layer index out of range");
+  LOWDIFF_ENSURE(out.size() == offsets_[layer + 1] - offsets_[layer],
+                 "gradient slice size mismatch");
+  SplitMix64 sm(seed_ ^ (iteration * 0x9E3779B97F4A7C15ull) ^
+                (static_cast<std::uint64_t>(worker) << 32) ^ (layer + 1));
+  Xoshiro256 rng(sm.next());
+  // Gradient magnitudes shrink with depth-scaled fan-in, giving top-k
+  // selection realistic non-uniform structure across layers.
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(out.size() % 4096 + 16));
+  ops::fill_normal(out, rng, scale);
+}
+
+void SyntheticGradientGenerator::generate(std::uint64_t iteration,
+                                          std::uint32_t worker,
+                                          Tensor& grad) const {
+  LOWDIFF_ENSURE(grad.size() == spec_.param_count(), "gradient tensor size mismatch");
+  for (std::size_t layer = 0; layer < spec_.layers.size(); ++layer) {
+    generate_layer(iteration, worker, layer,
+                   grad.span().subspan(offsets_[layer],
+                                       offsets_[layer + 1] - offsets_[layer]));
+  }
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file grad_gen.h
+/// Deterministic synthetic gradient source.
+///
+/// Checkpointing cost is a function of gradient *bytes*, not of the loss
+/// surface, so for the model-zoo experiments gradients are synthesized with
+/// a realistic heavy-ish tailed distribution (normal body; top-k then has
+/// meaningful structure).  The generator is deterministic in
+/// (seed, iteration, layer), so every worker in a data-parallel group can
+/// synthesize its shard and the collectives produce reproducible results.
+///
+/// Layer granularity matters: LowDiff+ consumes gradients layer-by-layer in
+/// *reverse* forward order as the backward pass emits them (paper Fig. 5).
+
+#include <cstdint>
+
+#include "model/model_spec.h"
+#include "tensor/tensor.h"
+
+namespace lowdiff {
+
+class SyntheticGradientGenerator {
+ public:
+  SyntheticGradientGenerator(const ModelSpec& spec, std::uint64_t seed);
+
+  const ModelSpec& spec() const { return spec_; }
+
+  /// Fills the slice for layer `layer` of `grad` (a flat tensor of
+  /// spec().param_count() elements) for the given iteration and worker.
+  void generate_layer(std::uint64_t iteration, std::uint32_t worker,
+                      std::size_t layer, std::span<float> out) const;
+
+  /// Fills the whole flat gradient for (iteration, worker).
+  void generate(std::uint64_t iteration, std::uint32_t worker, Tensor& grad) const;
+
+ private:
+  ModelSpec spec_;
+  std::vector<std::size_t> offsets_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,187 @@
+#include "model/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lowdiff {
+namespace {
+
+/// out[b, o] = sum_i x[b, i] * w[o, i] + bias[o]
+void linear_forward(std::span<const float> x, std::size_t batch, std::size_t in,
+                    std::span<const float> w, std::span<const float> bias,
+                    std::size_t out, std::vector<float>& y) {
+  y.assign(batch * out, 0.0f);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = x.data() + b * in;
+    float* yb = y.data() + b * out;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float* wo = w.data() + o * in;
+      float acc = bias[o];
+      for (std::size_t i = 0; i < in; ++i) acc += xb[i] * wo[i];
+      yb[o] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+MlpNet::MlpNet(MlpConfig config) : config_(std::move(config)) {
+  LOWDIFF_ENSURE(config_.input_dim > 0 && config_.num_classes > 1,
+                 "invalid MLP dimensions");
+  spec_.name = "MLP";
+  std::size_t in = config_.input_dim;
+  std::size_t offset = 0;
+  std::vector<std::size_t> outs = config_.hidden;
+  outs.push_back(config_.num_classes);
+  for (std::size_t l = 0; l < outs.size(); ++l) {
+    const std::size_t out = outs[l];
+    const std::string prefix = "fc" + std::to_string(l);
+    spec_.layers.push_back({prefix + ".weight", {out, in}});
+    spec_.layers.push_back({prefix + ".bias", {out}});
+    dims_.push_back({in, out, offset, offset + out * in});
+    offset += out * in + out;
+    in = out;
+  }
+}
+
+double MlpNet::forward_impl(const ModelState& state,
+                            std::span<const float> inputs,
+                            std::span<const std::uint32_t> labels,
+                            std::vector<std::vector<float>>& activations,
+                            std::vector<float>& probs) const {
+  LOWDIFF_ENSURE(inputs.size() % config_.input_dim == 0, "ragged input batch");
+  const std::size_t batch = inputs.size() / config_.input_dim;
+  LOWDIFF_ENSURE(batch == labels.size(), "labels/batch size mismatch");
+
+  const auto params = state.params().span();
+  activations.clear();
+  activations.emplace_back(inputs.begin(), inputs.end());
+
+  std::vector<float> z;
+  for (std::size_t l = 0; l < dims_.size(); ++l) {
+    const auto& d = dims_[l];
+    linear_forward(activations.back(), batch, d.in,
+                   params.subspan(d.w_off, d.out * d.in),
+                   params.subspan(d.b_off, d.out), d.out, z);
+    if (l + 1 < dims_.size()) {
+      for (auto& v : z) v = std::max(v, 0.0f);  // ReLU
+    }
+    activations.push_back(z);
+  }
+
+  // Softmax cross-entropy on the logits (last activation).
+  const std::size_t classes = config_.num_classes;
+  const std::vector<float>& logits = activations.back();
+  probs.assign(batch * classes, 0.0f);
+  double loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* lb = logits.data() + b * classes;
+    float* pb = probs.data() + b * classes;
+    const float mx = *std::max_element(lb, lb + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      pb[c] = std::exp(lb[c] - mx);
+      denom += pb[c];
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      pb[c] = static_cast<float>(pb[c] / denom);
+    }
+    LOWDIFF_ENSURE(labels[b] < classes, "label out of range");
+    loss += -std::log(std::max(1e-12, static_cast<double>(pb[labels[b]])));
+  }
+  return loss / static_cast<double>(batch);
+}
+
+double MlpNet::loss_and_gradient(const ModelState& state,
+                                 std::span<const float> inputs,
+                                 std::span<const std::uint32_t> labels,
+                                 Tensor& grad) const {
+  LOWDIFF_ENSURE(grad.size() == spec_.param_count(), "gradient size mismatch");
+  std::vector<std::vector<float>> activations;
+  std::vector<float> probs;
+  const double loss = forward_impl(state, inputs, labels, activations, probs);
+
+  const std::size_t batch = labels.size();
+  const std::size_t classes = config_.num_classes;
+  const auto params = state.params().span();
+  auto g = grad.span();
+
+  // dL/dlogits = (probs - onehot) / batch
+  std::vector<float> delta(probs);
+  for (std::size_t b = 0; b < batch; ++b) {
+    delta[b * classes + labels[b]] -= 1.0f;
+  }
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (auto& v : delta) v *= inv_batch;
+
+  // Backprop through layers in reverse; activations[l] is the input to
+  // layer l, activations[l+1] its (post-ReLU) output.
+  for (std::size_t li = dims_.size(); li-- > 0;) {
+    const auto& d = dims_[li];
+    const std::vector<float>& x = activations[li];
+    auto gw = g.subspan(d.w_off, d.out * d.in);
+    auto gb = g.subspan(d.b_off, d.out);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* xb = x.data() + b * d.in;
+      const float* db = delta.data() + b * d.out;
+      for (std::size_t o = 0; o < d.out; ++o) {
+        const float dv = db[o];
+        if (dv == 0.0f) continue;
+        gb[o] += dv;
+        float* gwo = gw.data() + o * d.in;
+        for (std::size_t i = 0; i < d.in; ++i) gwo[i] += dv * xb[i];
+      }
+    }
+
+    if (li == 0) break;
+    // delta_prev[b, i] = sum_o delta[b, o] * w[o, i], masked by ReLU.
+    const auto w = params.subspan(d.w_off, d.out * d.in);
+    std::vector<float> prev(batch * d.in, 0.0f);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* db = delta.data() + b * d.out;
+      float* pb = prev.data() + b * d.in;
+      for (std::size_t o = 0; o < d.out; ++o) {
+        const float dv = db[o];
+        if (dv == 0.0f) continue;
+        const float* wo = w.data() + o * d.in;
+        for (std::size_t i = 0; i < d.in; ++i) pb[i] += dv * wo[i];
+      }
+      const float* act = activations[li].data() + b * d.in;
+      for (std::size_t i = 0; i < d.in; ++i) {
+        if (act[i] <= 0.0f) pb[i] = 0.0f;  // ReLU mask
+      }
+    }
+    delta = std::move(prev);
+  }
+  return loss;
+}
+
+double MlpNet::forward(const ModelState& state, std::span<const float> inputs,
+                       std::span<const std::uint32_t> labels,
+                       std::vector<float>* probs) const {
+  std::vector<std::vector<float>> activations;
+  std::vector<float> local_probs;
+  const double loss = forward_impl(state, inputs, labels, activations, local_probs);
+  if (probs != nullptr) *probs = std::move(local_probs);
+  return loss;
+}
+
+double MlpNet::accuracy(const ModelState& state, std::span<const float> inputs,
+                        std::span<const std::uint32_t> labels) const {
+  std::vector<float> probs;
+  forward(state, inputs, labels, &probs);
+  const std::size_t classes = config_.num_classes;
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < labels.size(); ++b) {
+    const float* pb = probs.data() + b * classes;
+    const auto argmax = static_cast<std::uint32_t>(
+        std::max_element(pb, pb + classes) - pb);
+    if (argmax == labels[b]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace lowdiff

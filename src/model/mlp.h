@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file mlp.h
+/// A real, trainable multi-layer perceptron with exact forward/backward.
+///
+/// The model-zoo workloads use synthetic gradients because checkpoint cost
+/// only depends on bytes; this MLP exists to prove the *algebra*: that
+/// replaying reused gradients through Adam reconstructs training state
+/// bit-exactly (Finding 1 / Eq. 2), and that recovered models keep learning
+/// with an unchanged loss trajectory.  Architecture: Linear→ReLU stacks with
+/// a softmax cross-entropy head.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "model/model_state.h"
+#include "tensor/tensor.h"
+
+namespace lowdiff {
+
+struct MlpConfig {
+  std::size_t input_dim = 16;
+  std::vector<std::size_t> hidden = {32, 32};
+  std::size_t num_classes = 4;
+};
+
+class MlpNet {
+ public:
+  explicit MlpNet(MlpConfig config);
+
+  /// Parameter layout: fc{out,in} weight + {out} bias per layer, in forward
+  /// order — compatible with ModelState / the checkpointing stack.
+  const ModelSpec& spec() const { return spec_; }
+
+  /// Computes mean cross-entropy loss over the batch and accumulates
+  /// d(loss)/d(params) into `grad` (which must be zeroed by the caller if a
+  /// fresh gradient is wanted).  `inputs` is row-major [batch, input_dim];
+  /// `labels` holds class indices.
+  ///
+  /// The computation is deterministic: same state + batch => same loss and
+  /// bit-identical gradient.
+  double loss_and_gradient(const ModelState& state,
+                           std::span<const float> inputs,
+                           std::span<const std::uint32_t> labels,
+                           Tensor& grad) const;
+
+  /// Forward only: fills `probs` ([batch, num_classes]) and returns mean loss.
+  double forward(const ModelState& state, std::span<const float> inputs,
+                 std::span<const std::uint32_t> labels,
+                 std::vector<float>* probs = nullptr) const;
+
+  /// Fraction of batch rows whose argmax matches the label.
+  double accuracy(const ModelState& state, std::span<const float> inputs,
+                  std::span<const std::uint32_t> labels) const;
+
+ private:
+  struct LayerDims {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::size_t w_off = 0;  // element offset of the weight block
+    std::size_t b_off = 0;  // element offset of the bias block
+  };
+
+  /// Runs the forward pass, retaining post-activation values per layer for
+  /// the backward pass.  activations[0] is the input batch.
+  double forward_impl(const ModelState& state, std::span<const float> inputs,
+                      std::span<const std::uint32_t> labels,
+                      std::vector<std::vector<float>>& activations,
+                      std::vector<float>& probs) const;
+
+  MlpConfig config_;
+  ModelSpec spec_;
+  std::vector<LayerDims> dims_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,76 @@
+#include "model/model_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+std::size_t ModelSpec::param_count() const {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.size();
+  return total;
+}
+
+std::vector<std::size_t> ModelSpec::layer_offsets() const {
+  std::vector<std::size_t> offsets;
+  offsets.reserve(layers.size() + 1);
+  std::size_t off = 0;
+  for (const auto& l : layers) {
+    offsets.push_back(off);
+    off += l.size();
+  }
+  offsets.push_back(off);
+  return offsets;
+}
+
+ModelSpec ModelSpec::scaled(double factor) const {
+  LOWDIFF_ENSURE(factor > 0.0, "scale factor must be positive");
+  ModelSpec out;
+  out.name = name + "@" + std::to_string(factor);
+  out.layers.reserve(layers.size());
+  for (const auto& l : layers) {
+    LayerSpec s = l;
+    if (!s.shape.empty()) {
+      const double scaled0 = std::max(1.0, std::round(static_cast<double>(s.shape[0]) * factor));
+      s.shape[0] = static_cast<std::size_t>(scaled0);
+    }
+    out.layers.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ModelSpec> ModelSpec::partition(std::size_t stages) const {
+  LOWDIFF_ENSURE(stages >= 1, "need at least one pipeline stage");
+  LOWDIFF_ENSURE(stages <= layers.size(), "more stages than layers");
+  const std::size_t total = param_count();
+  const std::size_t target = total / stages;
+
+  std::vector<ModelSpec> out;
+  out.reserve(stages);
+  ModelSpec current;
+  std::size_t acc = 0;
+  std::size_t stage_index = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    current.layers.push_back(layers[i]);
+    acc += layers[i].size();
+    const std::size_t remaining_layers = layers.size() - i - 1;
+    const std::size_t remaining_stages = stages - stage_index - 1;
+    const bool quota_met = acc >= target && remaining_stages > 0;
+    const bool must_close = remaining_layers == remaining_stages && remaining_stages > 0;
+    if (quota_met || must_close) {
+      current.name = name + "/stage" + std::to_string(stage_index);
+      out.push_back(std::move(current));
+      current = ModelSpec{};
+      acc = 0;
+      ++stage_index;
+    }
+  }
+  current.name = name + "/stage" + std::to_string(stage_index);
+  out.push_back(std::move(current));
+  LOWDIFF_CHECK(out.size() == stages);
+  return out;
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file model_spec.h
+/// Structural description of a DNN: an ordered list of named parameter
+/// tensors (layers).  The checkpointing system only needs parameter layout,
+/// not the math of each layer, so a spec is exactly the information that
+/// framework state_dicts expose.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lowdiff {
+
+struct LayerSpec {
+  std::string name;
+  std::vector<std::size_t> shape;
+
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (std::size_t d : shape) n *= d;
+    return n;
+  }
+};
+
+/// Ordered parameter layout of one model.  Layer order matches the forward
+/// pass; the backward pass produces gradients in *reverse* of this order,
+/// which the layer-wise reuse path of LowDiff+ (paper §5.1) relies on.
+struct ModelSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  std::size_t layer_count() const { return layers.size(); }
+
+  /// Total number of parameters (paper's Ψ).
+  std::size_t param_count() const;
+
+  /// Bytes of one parameter copy (fp32).
+  std::size_t param_bytes() const { return param_count() * sizeof(float); }
+
+  /// Bytes of a full checkpoint: params + 2 Adam moments = 3Ψ (Finding 2).
+  std::size_t full_checkpoint_bytes() const { return 3 * param_bytes(); }
+
+  /// Per-layer element offsets into the flat parameter vector; the final
+  /// entry equals param_count().
+  std::vector<std::size_t> layer_offsets() const;
+
+  /// Returns a structurally similar spec with roughly `factor` times the
+  /// parameters (each layer's leading dimension scaled, minimum 1 element).
+  /// Used to run real-bytes experiments on laptop-scale memory while the
+  /// analytic simulator keeps the full-size spec.
+  ModelSpec scaled(double factor) const;
+
+  /// Splits layers into `stages` contiguous groups with approximately equal
+  /// parameter counts (pipeline parallelism for the Exp. 1 VGG16-PP row).
+  std::vector<ModelSpec> partition(std::size_t stages) const;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,197 @@
+#include "model/zoo.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lowdiff::zoo {
+namespace {
+
+void add(ModelSpec& spec, std::string name, std::vector<std::size_t> shape) {
+  spec.layers.push_back(LayerSpec{std::move(name), std::move(shape)});
+}
+
+/// Adjusts `spec` so param_count() == target exactly (see header).
+void align_to(ModelSpec& spec, std::size_t target) {
+  std::size_t current = spec.param_count();
+  if (current > target) {
+    // Shrink the largest tensor row-by-row, then pad the remainder.
+    auto largest = std::max_element(
+        spec.layers.begin(), spec.layers.end(),
+        [](const LayerSpec& a, const LayerSpec& b) { return a.size() < b.size(); });
+    LOWDIFF_CHECK(largest != spec.layers.end());
+    const std::size_t stride = largest->size() / largest->shape[0];
+    const std::size_t excess = current - target;
+    const std::size_t rows = (excess + stride - 1) / stride;
+    LOWDIFF_ENSURE(rows < largest->shape[0], "cannot align: largest layer too small");
+    largest->shape[0] -= rows;
+    current = spec.param_count();
+  }
+  if (current < target) {
+    add(spec, "aux.pad", {target - current});
+  }
+  LOWDIFF_CHECK(spec.param_count() == target);
+}
+
+void add_conv_bn(ModelSpec& spec, const std::string& name, std::size_t out_c,
+                 std::size_t in_c, std::size_t k) {
+  add(spec, name + ".weight", {out_c, in_c, k, k});
+  add(spec, name + ".bn.weight", {out_c});
+  add(spec, name + ".bn.bias", {out_c});
+}
+
+ModelSpec resnet(const std::string& name, const std::vector<std::size_t>& blocks,
+                 std::size_t target) {
+  ModelSpec spec;
+  spec.name = name;
+  add_conv_bn(spec, "conv1", 64, 3, 7);
+  std::size_t in_c = 64;
+  for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+    const std::size_t width = 64ull << stage;
+    const std::size_t out_c = width * 4;
+    for (std::size_t b = 0; b < blocks[stage]; ++b) {
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(b);
+      if (b == 0) {
+        add_conv_bn(spec, prefix + ".downsample", out_c, in_c, 1);
+      }
+      add_conv_bn(spec, prefix + ".conv1", width, in_c, 1);
+      add_conv_bn(spec, prefix + ".conv2", width, width, 3);
+      add_conv_bn(spec, prefix + ".conv3", out_c, width, 1);
+      in_c = out_c;
+    }
+  }
+  add(spec, "fc.weight", {1000, in_c});
+  add(spec, "fc.bias", {1000});
+  align_to(spec, target);
+  return spec;
+}
+
+ModelSpec vgg(const std::string& name, const std::vector<int>& config,
+              std::size_t target) {
+  // config: channel count per conv, -1 marks max-pool (channel reset point).
+  ModelSpec spec;
+  spec.name = name;
+  std::size_t in_c = 3;
+  std::size_t conv_idx = 0;
+  for (int c : config) {
+    if (c < 0) continue;  // pooling layers carry no parameters
+    const auto out_c = static_cast<std::size_t>(c);
+    const std::string prefix = "features." + std::to_string(conv_idx++);
+    add(spec, prefix + ".weight", {out_c, in_c, 3, 3});
+    add(spec, prefix + ".bias", {out_c});
+    in_c = out_c;
+  }
+  add(spec, "classifier.0.weight", {4096, in_c * 7 * 7});
+  add(spec, "classifier.0.bias", {4096});
+  add(spec, "classifier.3.weight", {4096, 4096});
+  add(spec, "classifier.3.bias", {4096});
+  add(spec, "classifier.6.weight", {1000, 4096});
+  add(spec, "classifier.6.bias", {1000});
+  align_to(spec, target);
+  return spec;
+}
+
+void add_layer_norm(ModelSpec& spec, const std::string& name, std::size_t h) {
+  add(spec, name + ".weight", {h});
+  add(spec, name + ".bias", {h});
+}
+
+ModelSpec bert(const std::string& name, std::size_t hidden, std::size_t layers,
+               std::size_t target) {
+  ModelSpec spec;
+  spec.name = name;
+  const std::size_t vocab = 30522;
+  const std::size_t ff = hidden * 4;
+  add(spec, "embeddings.word", {vocab, hidden});
+  add(spec, "embeddings.position", {512, hidden});
+  add(spec, "embeddings.token_type", {2, hidden});
+  add_layer_norm(spec, "embeddings.ln", hidden);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::string p = "encoder." + std::to_string(l);
+    for (const char* proj : {"query", "key", "value", "output"}) {
+      add(spec, p + ".attn." + proj + ".weight", {hidden, hidden});
+      add(spec, p + ".attn." + std::string(proj) + ".bias", {hidden});
+    }
+    add_layer_norm(spec, p + ".attn.ln", hidden);
+    add(spec, p + ".ffn.intermediate.weight", {ff, hidden});
+    add(spec, p + ".ffn.intermediate.bias", {ff});
+    add(spec, p + ".ffn.output.weight", {hidden, ff});
+    add(spec, p + ".ffn.output.bias", {hidden});
+    add_layer_norm(spec, p + ".ffn.ln", hidden);
+  }
+  add(spec, "pooler.weight", {hidden, hidden});
+  add(spec, "pooler.bias", {hidden});
+  align_to(spec, target);
+  return spec;
+}
+
+ModelSpec gpt2(const std::string& name, std::size_t hidden, std::size_t layers,
+               std::size_t target) {
+  ModelSpec spec;
+  spec.name = name;
+  const std::size_t vocab = 50257;
+  const std::size_t ctx = 1024;
+  const std::size_t ff = hidden * 4;
+  add(spec, "wte", {vocab, hidden});
+  add(spec, "wpe", {ctx, hidden});
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::string p = "h." + std::to_string(l);
+    add_layer_norm(spec, p + ".ln_1", hidden);
+    add(spec, p + ".attn.c_attn.weight", {hidden, 3 * hidden});
+    add(spec, p + ".attn.c_attn.bias", {3 * hidden});
+    add(spec, p + ".attn.c_proj.weight", {hidden, hidden});
+    add(spec, p + ".attn.c_proj.bias", {hidden});
+    add_layer_norm(spec, p + ".ln_2", hidden);
+    add(spec, p + ".mlp.c_fc.weight", {hidden, ff});
+    add(spec, p + ".mlp.c_fc.bias", {ff});
+    add(spec, p + ".mlp.c_proj.weight", {ff, hidden});
+    add(spec, p + ".mlp.c_proj.bias", {hidden});
+  }
+  add_layer_norm(spec, "ln_f", hidden);
+  align_to(spec, target);
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec resnet50() { return resnet("ResNet-50", {3, 4, 6, 3}, 25'600'000); }
+ModelSpec resnet101() { return resnet("ResNet-101", {3, 4, 23, 3}, 44'500'000); }
+
+ModelSpec vgg16() {
+  return vgg("VGG-16",
+             {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1,
+              512, 512, 512, -1},
+             138'800'000);
+}
+
+ModelSpec vgg19() {
+  return vgg("VGG-19",
+             {64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512,
+              512, -1, 512, 512, 512, 512, -1},
+             143'700'000);
+}
+
+ModelSpec bert_base() { return bert("BERT-B", 768, 12, 110'000'000); }
+ModelSpec bert_large() { return bert("BERT-L", 1024, 24, 334'000'000); }
+ModelSpec gpt2_small() { return gpt2("GPT2-S", 768, 12, 117'000'000); }
+ModelSpec gpt2_large() { return gpt2("GPT2-L", 1280, 36, 762'000'000); }
+
+ModelSpec by_name(const std::string& name) {
+  if (name == "ResNet-50") return resnet50();
+  if (name == "ResNet-101") return resnet101();
+  if (name == "VGG-16") return vgg16();
+  if (name == "VGG-19") return vgg19();
+  if (name == "BERT-B") return bert_base();
+  if (name == "BERT-L") return bert_large();
+  if (name == "GPT2-S") return gpt2_small();
+  if (name == "GPT2-L") return gpt2_large();
+  throw Error("unknown model: " + name, std::source_location::current());
+}
+
+std::vector<ModelSpec> all() {
+  return {resnet50(), resnet101(), vgg16(),      vgg19(),
+          bert_base(), bert_large(), gpt2_small(), gpt2_large()};
+}
+
+}  // namespace lowdiff::zoo

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file zoo.h
+/// The eight evaluation workloads of the paper (Table II(b)) as parameter
+/// layouts with their real architectural layer structure.
+///
+/// Each builder enumerates the architecture's actual parameter tensors
+/// (convolutions, attention blocks, embeddings, ...) and then aligns the
+/// total parameter count to the figure published in the paper by resizing
+/// the largest tensor and appending at most one small "aux.pad" tensor, so
+/// storage-overhead results (Exp. 7) are directly comparable.
+
+#include <string>
+#include <vector>
+
+#include "model/model_spec.h"
+
+namespace lowdiff::zoo {
+
+ModelSpec resnet50();    ///< 25.6 M params (CIFAR-100 task in the paper)
+ModelSpec resnet101();   ///< 44.5 M params (ImageNet)
+ModelSpec vgg16();       ///< 138.8 M params (CIFAR-100)
+ModelSpec vgg19();       ///< 143.7 M params (ImageNet)
+ModelSpec bert_base();   ///< 110 M params (SQuAD)
+ModelSpec bert_large();  ///< 334 M params (SQuAD)
+ModelSpec gpt2_small();  ///< 117 M params (WikiText-2)
+ModelSpec gpt2_large();  ///< 762 M params (WikiText-103)
+
+/// Lookup by the names used in the paper's figures:
+/// "ResNet-50", "ResNet-101", "VGG-16", "VGG-19", "BERT-B", "BERT-L",
+/// "GPT2-S", "GPT2-L".  Throws on unknown names.
+ModelSpec by_name(const std::string& name);
+
+/// All eight specs in Table II(b) order.
+std::vector<ModelSpec> all();
+
+}  // namespace lowdiff::zoo

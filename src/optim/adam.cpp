@@ -1,0 +1,48 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+void Adam::apply(ModelState& state, std::size_t offset,
+                 std::span<const float> grad, std::uint64_t step_after) const {
+  LOWDIFF_ENSURE(offset + grad.size() <= state.param_count(),
+                 "adam slice out of range");
+  float* __restrict p = state.params().data() + offset;
+  float* __restrict m = state.moment1().data() + offset;
+  float* __restrict v = state.moment2().data() + offset;
+  const float* __restrict g = grad.data();
+
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  // Bias correction computed in float so the dense and slice paths produce
+  // bit-identical results regardless of slicing.
+  const auto t = static_cast<float>(step_after);
+  const float c1 = 1.0f - std::pow(b1, t);
+  const float c2 = 1.0f - std::pow(b2, t);
+  const float lr = config_.lr;
+  const float eps = config_.eps;
+
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float mhat = m[i] / c1;
+    const float vhat = v[i] / c2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void Adam::step(ModelState& state, std::span<const float> grad) const {
+  LOWDIFF_ENSURE(grad.size() == state.param_count(), "adam gradient size mismatch");
+  apply(state, 0, grad, state.step() + 1);
+  state.set_step(state.step() + 1);
+}
+
+void Adam::step_slice(ModelState& state, std::size_t offset,
+                      std::span<const float> grad) const {
+  apply(state, offset, grad, state.step() + 1);
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file adam.h
+/// Adam (Kingma & Ba) with bias correction — the paper's default optimizer.
+/// Maintains first/second moments of the same size as the parameters, which
+/// is why a full checkpoint is 3Ψ while a gradient is Ψ (Finding 2).
+
+#include "optim/optimizer.h"
+
+namespace lowdiff {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  void step(ModelState& state, std::span<const float> grad) const override;
+  void step_slice(ModelState& state, std::size_t offset,
+                  std::span<const float> grad) const override;
+
+  std::string name() const override { return "Adam"; }
+  std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Adam>(config_);
+  }
+
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  /// Shared kernel: updates the slice assuming the post-increment step
+  /// counter is `step_after` (bias correction depends on it).
+  void apply(ModelState& state, std::size_t offset, std::span<const float> grad,
+             std::uint64_t step_after) const;
+
+  AdamConfig config_;
+};
+
+}  // namespace lowdiff

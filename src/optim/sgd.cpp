@@ -1,0 +1,40 @@
+#include "optim/sgd.h"
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+void Sgd::apply(ModelState& state, std::size_t offset,
+                std::span<const float> grad) const {
+  LOWDIFF_ENSURE(offset + grad.size() <= state.param_count(),
+                 "sgd slice out of range");
+  float* __restrict p = state.params().data() + offset;
+  const float* __restrict g = grad.data();
+  const float lr = config_.lr;
+  if (config_.momentum > 0.0f) {
+    // Momentum buffer lives in moment1; moment2 stays zero.
+    float* __restrict buf = state.moment1().data() + offset;
+    const float mu = config_.momentum;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      buf[i] = mu * buf[i] + g[i];
+      p[i] -= lr * buf[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      p[i] -= lr * g[i];
+    }
+  }
+}
+
+void Sgd::step(ModelState& state, std::span<const float> grad) const {
+  LOWDIFF_ENSURE(grad.size() == state.param_count(), "sgd gradient size mismatch");
+  apply(state, 0, grad);
+  state.set_step(state.step() + 1);
+}
+
+void Sgd::step_slice(ModelState& state, std::size_t offset,
+                     std::span<const float> grad) const {
+  apply(state, offset, grad);
+}
+
+}  // namespace lowdiff

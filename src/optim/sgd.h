@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file sgd.h
+/// SGD with optional momentum.  Included so the checkpoint-size accounting
+/// can be exercised with optimizers whose state differs from Adam's 2Ψ
+/// (plain SGD keeps no moments; momentum keeps Ψ).
+
+#include "optim/optimizer.h"
+
+namespace lowdiff {
+
+struct SgdConfig {
+  float lr = 1e-2f;
+  float momentum = 0.0f;  ///< 0 disables the momentum buffer semantics.
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig config = {}) : config_(config) {}
+
+  void step(ModelState& state, std::span<const float> grad) const override;
+  void step_slice(ModelState& state, std::size_t offset,
+                  std::span<const float> grad) const override;
+
+  std::string name() const override {
+    return config_.momentum > 0.0f ? "SGD-momentum" : "SGD";
+  }
+  std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Sgd>(config_);
+  }
+
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  void apply(ModelState& state, std::size_t offset,
+             std::span<const float> grad) const;
+
+  SgdConfig config_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file reusing_queue.h
+/// The compressed-gradient Reusing Queue (paper §4.1, Fig. 2).
+///
+/// The paper implements this with torch.multiprocessing.Queue over CUDA IPC:
+/// the queue carries GPU memory *handles*, not payload bytes, giving FIFO
+/// ordering (Requirement 1) and zero-copy transmission (Requirement 2).
+/// In-process, the exact analogue is a bounded blocking FIFO moving
+/// std::shared_ptr<const T> handles from the training thread to the
+/// checkpointing thread: the payload is never copied, ownership is shared
+/// until the checkpointing side drops the handle (= "closing the IPC
+/// handle and freeing the GPU memory", Fig. 4 step 1).
+///
+/// Bounded capacity models finite GPU memory available for in-flight
+/// gradients; a full queue back-pressures the producer, which is exactly
+/// the training stall LowDiff's batched-write path must avoid.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+template <typename T>
+class ReusingQueue {
+ public:
+  using Handle = std::shared_ptr<const T>;
+
+  /// `capacity` = maximum number of in-flight handles (0 means unbounded).
+  explicit ReusingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  ReusingQueue(const ReusingQueue&) = delete;
+  ReusingQueue& operator=(const ReusingQueue&) = delete;
+
+  /// Blocks while the queue is full.  Returns false iff the queue was
+  /// closed (the handle is then dropped — the producer is shutting down).
+  bool put(Handle handle) {
+    LOWDIFF_ENSURE(handle != nullptr, "null handle enqueued");
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(handle));
+    ++total_enqueued_;
+    high_watermark_ = std::max(high_watermark_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking put; returns false if the queue is full or closed.
+  bool try_put(Handle handle) {
+    LOWDIFF_ENSURE(handle != nullptr, "null handle enqueued");
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) return false;
+      items_.push_back(std::move(handle));
+      ++total_enqueued_;
+      high_watermark_ = std::max(high_watermark_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained.  std::nullopt means: closed, nothing left — consumer exits.
+  std::optional<Handle> get() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    Handle h = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return h;
+  }
+
+  /// Non-blocking get.
+  std::optional<Handle> try_get() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    Handle h = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return h;
+  }
+
+  /// After close(), put() fails and get() drains the remaining items then
+  /// returns std::nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Peak number of simultaneously queued handles — the in-flight gradient
+  /// memory metric of Exp. 6(b).
+  std::size_t high_watermark() const {
+    std::lock_guard lock(mutex_);
+    return high_watermark_;
+  }
+
+  std::uint64_t total_enqueued() const {
+    std::lock_guard lock(mutex_);
+    return total_enqueued_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Handle> items_;
+  bool closed_ = false;
+  std::size_t high_watermark_ = 0;
+  std::uint64_t total_enqueued_ = 0;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file cluster.h
+/// Hardware description of the simulated training cluster, mirroring the
+/// paper's testbed (§6.1, Table II(a)): servers with 4 GPUs, NVLink within
+/// a server, 25 Gbps InfiniBand across servers, PCIe Gen4 (A100) or Gen3
+/// (V100S), and a local NVMe SSD per server.
+///
+/// Throughput constants are calibration inputs for the analytic timeline;
+/// they set absolute speeds only — every reproduced result is a ratio.
+
+#include <cstddef>
+#include <string>
+
+#include "storage/bandwidth.h"
+
+namespace lowdiff::sim {
+
+/// GPU generation: relative compute speed + host link.
+struct GpuGeneration {
+  std::string name;
+  /// Multiplier on per-iteration compute time (A100 = 1.0).
+  double compute_scale = 1.0;
+  LinkSpec pcie = links::pcie_gen4();
+};
+
+namespace gpus {
+inline GpuGeneration a100() { return {"A100", 1.0, links::pcie_gen4()}; }
+inline GpuGeneration v100s() { return {"V100S", 2.2, links::pcie_gen3()}; }
+}  // namespace gpus
+
+struct ClusterSpec {
+  GpuGeneration gpu = gpus::a100();
+  std::size_t num_gpus = 8;
+  std::size_t gpus_per_server = 4;
+
+  /// Cross-server fabric (shared by the GPUs of one server).
+  LinkSpec network = links::ib_25gbps();
+  /// Local NVMe SSD sustained write path, shared by the server's GPUs.
+  LinkSpec storage = {2.2 * kGB, 50e-6};
+  /// Persistent main memory (PMEM) write path for the PCcheck baseline
+  /// (§2.2), shared by the server's GPUs.
+  LinkSpec pmem = {8.0 * kGB, 1e-6};
+  /// SSD read path (recovery).
+  double storage_read_bytes_per_sec = 3.2 * kGB;
+
+  /// GPU top-k selection throughput (elements/second).
+  double gpu_compress_throughput = 2.0e9;
+  /// GPU elementwise throughput for differential computation (elements/s).
+  double gpu_diff_throughput = 2.0e10;
+  /// Host-side Adam replica update throughput (elements/second) — the
+  /// LowDiff+ CPU update path (torch.set_num_threads over all cores).
+  double cpu_update_throughput = 2.0e9;
+  /// Host-side merge throughput during recovery (elements/second).
+  double cpu_merge_throughput = 4.0e9;
+
+  std::size_t servers() const {
+    return (num_gpus + gpus_per_server - 1) / gpus_per_server;
+  }
+};
+
+}  // namespace lowdiff::sim

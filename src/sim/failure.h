@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file failure.h
+/// Failure injection for the long-horizon experiments (Exp. 3, 9, 10).
+/// Failures arrive as a Poisson process with the configured MTBF, matching
+/// the paper's methodology ("failures were simulated ... adhering to a
+/// fixed MTBF metric", §6.2 Exp. 3).
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace lowdiff::sim {
+
+enum class FailureType {
+  kSoftware,  ///< training process dies; host memory survives (§5.3)
+  kHardware,  ///< machine is replaced; all volatile state is lost
+};
+
+struct FailureEvent {
+  double time = 0.0;  ///< seconds since the previous failure (or start)
+  FailureType type = FailureType::kSoftware;
+};
+
+class FailureModel {
+ public:
+  /// `software_fraction`: probability a failure is a software failure.
+  FailureModel(double mtbf_sec, std::uint64_t seed, double software_fraction = 0.5)
+      : mtbf_sec_(mtbf_sec), software_fraction_(software_fraction),
+        rng_(SplitMix64(seed ^ 0xFA11u).next()) {}
+
+  double mtbf() const { return mtbf_sec_; }
+
+  /// Samples the next failure (time to failure + type).
+  FailureEvent next() {
+    FailureEvent ev;
+    ev.time = rng_.exponential(mtbf_sec_);
+    ev.type = rng_.uniform_double() < software_fraction_ ? FailureType::kSoftware
+                                                         : FailureType::kHardware;
+    return ev;
+  }
+
+ private:
+  double mtbf_sec_;
+  double software_fraction_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace lowdiff::sim

@@ -1,0 +1,530 @@
+#include "sim/strategy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/network_model.h"
+#include "common/error.h"
+
+namespace lowdiff::sim {
+namespace {
+
+/// Calibration constants (see DESIGN.md §1 — absolute speeds are scaled,
+/// ratios are what the experiments check).
+
+/// Fixed per-checkpoint bookkeeping cost (zero-copy IPC handle
+/// export/import, Python-process coordination in the reference
+/// implementation).  Charged by LowDiff's enqueue and by Gemini's traffic
+/// scheduler alike.
+constexpr double kIpcOpSec = 2e-3;
+
+/// Fraction of an asynchronous bulk snapshot (full model state over PCIe
+/// DMA) that interferes with training despite overlap.
+constexpr double kSnapshotInterference = 0.3;
+
+/// Layer-wise host copies of *dense* gradients serialize with backward
+/// kernels far more than one bulk DMA does; the paper measures 8–10 %
+/// overhead for LowDiff+ from exactly this PCIe contention (§6.2 Exp. 2).
+constexpr double kLayerwiseContention = 1.0;
+
+/// Fraction of the compute window usable to overlap a snapshot.
+constexpr double kBackwardWindowFrac = 0.67;
+
+/// Storage backlog (in baseline iterations of link time) the CPU write
+/// buffer absorbs before back-pressuring training.
+constexpr double kStorageBufferIters = 10.0;
+
+/// CPU-replica update backlog tolerated (iterations) before LowDiff+
+/// throttles training.
+constexpr double kCpuBacklogIters = 4.0;
+
+/// Pipeline-parallel bubble overhead on compute.
+constexpr double kPipelineBubble = 0.15;
+
+/// Eq. (3)'s R_D, expressed as a fraction of a baseline iteration: the time
+/// to merge one batched differential with the full checkpoint at recovery.
+constexpr double kMergeOpIterFrac = 0.15;
+
+/// Host memory copy bandwidth (non-zero-copy queue ablation).
+constexpr double kHostMemcpyBw = 10.0e9;
+
+/// Fixed cost per storage write operation (file create, metadata, fsync) —
+/// what batched gradient writes amortize (§4.2).
+constexpr double kStorageOpSec = 8e-3;
+
+}  // namespace
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNone: return "W/O CKPT";
+    case StrategyKind::kTorchSave: return "TorchSave";
+    case StrategyKind::kCheckFreq: return "CheckFreq";
+    case StrategyKind::kGemini: return "Gemini";
+    case StrategyKind::kNaiveDC: return "NaiveDC";
+    case StrategyKind::kLowDiff: return "LowDiff";
+    case StrategyKind::kLowDiffPlus: return "LowDiff+";
+    case StrategyKind::kPCcheck: return "PCcheck";
+  }
+  return "?";
+}
+
+StrategyTimeline::StrategyTimeline(ClusterSpec cluster, Workload workload,
+                                   StrategyConfig config)
+    : cluster_(std::move(cluster)), workload_(std::move(workload)),
+      config_(config) {
+  LOWDIFF_ENSURE(config_.ckpt_interval >= 1, "checkpoint interval must be >= 1");
+  LOWDIFF_ENSURE(config_.full_interval >= 1, "full-checkpoint interval must be >= 1");
+  LOWDIFF_ENSURE(config_.batch_size >= 1, "batch size must be >= 1");
+
+  // Resolve the LowDiff+ persistence interval: smallest interval the
+  // storage link sustains for the sharded replica write.
+  if (config_.kind == StrategyKind::kLowDiffPlus) {
+    if (config_.persist_interval == 0) {
+      const double shard_bytes = static_cast<double>(workload_.full_ckpt_bytes()) /
+                                 static_cast<double>(cluster_.num_gpus);
+      const double write_time = shard_bytes / eff_storage_bw();
+      auto_persist_interval_ = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::ceil(write_time / baseline_iteration_time())));
+    } else {
+      auto_persist_interval_ = config_.persist_interval;
+    }
+  }
+}
+
+double StrategyTimeline::eff_storage_bw() const {
+  return cluster_.storage.bytes_per_sec /
+         static_cast<double>(cluster_.gpus_per_server);
+}
+
+double StrategyTimeline::eff_net_bw() const {
+  return cluster_.network.bytes_per_sec /
+         static_cast<double>(cluster_.gpus_per_server);
+}
+
+double StrategyTimeline::compress_cost() const {
+  if (!workload_.compressed()) return 0.0;
+  return static_cast<double>(workload_.params) / cluster_.gpu_compress_throughput;
+}
+
+double StrategyTimeline::sync_cost() const {
+  const std::size_t servers = cluster_.servers();
+  if (servers <= 1 && cluster_.num_gpus <= 1) return 0.0;
+  NetworkModel nm{cluster_.network, std::max<std::size_t>(servers, 2)};
+  const double stages = static_cast<double>(workload_.pipeline_stages);
+  if (workload_.compressed()) {
+    return nm.allgather_time(static_cast<std::uint64_t>(
+        static_cast<double>(workload_.sparse_grad_bytes()) / stages));
+  }
+  return nm.allreduce_time(static_cast<std::uint64_t>(
+      static_cast<double>(workload_.dense_grad_bytes()) / stages));
+}
+
+double StrategyTimeline::baseline_iteration_time() const {
+  const double bubble =
+      workload_.pipeline_stages > 1 ? (1.0 + kPipelineBubble) : 1.0;
+  return workload_.iter_compute_sec * bubble + compress_cost() + sync_cost();
+}
+
+double StrategyTimeline::step() {
+  const double start = now_;
+  const double bubble =
+      workload_.pipeline_stages > 1 ? (1.0 + kPipelineBubble) : 1.0;
+  const double compute = workload_.iter_compute_sec * bubble;
+  const double compress = compress_cost();
+  const double sync = sync_cost();
+  const double iter_end = start + compute + compress + sync;
+
+  double stall = 0.0;
+  switch (config_.kind) {
+    case StrategyKind::kNone: stall = step_none(); break;
+    case StrategyKind::kTorchSave: stall = step_torch_save(iter_end); break;
+    case StrategyKind::kCheckFreq: stall = step_checkfreq(iter_end); break;
+    case StrategyKind::kGemini: stall = step_gemini(iter_end); break;
+    case StrategyKind::kNaiveDC: stall = step_naive_dc(iter_end); break;
+    case StrategyKind::kLowDiff: stall = step_lowdiff(iter_end); break;
+    case StrategyKind::kLowDiffPlus: stall = step_lowdiff_plus(iter_end); break;
+    case StrategyKind::kPCcheck: stall = step_pccheck(iter_end); break;
+  }
+
+  now_ = iter_end + stall;
+  ++iter_;
+
+  stats_.compute_time += compute;
+  stats_.compress_time += compress;
+  stats_.sync_time += sync;
+  stats_.stall_time += stall;
+  stats_.total_time = now_;
+  stats_.iterations = iter_;
+  return compute + compress + sync + stall;
+}
+
+TimelineStats StrategyTimeline::run(std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) step();
+  return stats_;
+}
+
+void StrategyTimeline::reset() {
+  now_ = pcie_free_ = storage_free_ = net_free_ = cpu_free_ = pmem_free_ = 0.0;
+  iter_ = 0;
+  batch_pending_ = 0;
+  stats_ = TimelineStats{};
+}
+
+double StrategyTimeline::step_none() { return 0.0; }
+
+double StrategyTimeline::step_torch_save(double iter_end) {
+  if (!is_ckpt_iter()) return 0.0;
+  // Fully synchronous: device->host copy then storage write, both blocking.
+  const auto bytes = workload_.full_ckpt_bytes();
+  const double stall = static_cast<double>(bytes) / pcie_bw() + kStorageOpSec +
+                       static_cast<double>(bytes) / eff_storage_bw();
+  ++stats_.full_ckpts;
+  ++stats_.storage_writes;
+  stats_.bytes_to_storage += bytes;
+  stats_.storage_busy_time +=
+      kStorageOpSec + static_cast<double>(bytes) / eff_storage_bw();
+  storage_free_ = iter_end + stall;
+  return stall;
+}
+
+double StrategyTimeline::step_checkfreq(double iter_end) {
+  if (!is_ckpt_iter()) return 0.0;
+  const auto bytes = workload_.full_ckpt_bytes();
+  // Single snapshot buffer: a new snapshot waits for the previous persist.
+  const double wait_buf = std::max(0.0, storage_free_ - iter_end);
+  // The snapshot (device->host copy of the full 3Ψ state) gates the next
+  // model update (WAR); in the measured DeepSpeed integration it is
+  // effectively blocking — this is what pins CheckFreq at ~10-iteration
+  // intervals under the 3.5% bound (Exp. 4).
+  const double snap = static_cast<double>(bytes) / pcie_bw();
+  const double snap_stall = snap;
+  const double persist_start = iter_end + wait_buf + snap;
+  const double t_persist =
+      kStorageOpSec + static_cast<double>(bytes) / eff_storage_bw();
+  storage_free_ = persist_start + t_persist;
+  stats_.storage_busy_time += t_persist;
+  ++stats_.full_ckpts;
+  ++stats_.storage_writes;
+  stats_.bytes_to_storage += bytes;
+  return wait_buf + snap_stall;
+}
+
+double StrategyTimeline::step_gemini(double iter_end) {
+  if (!is_ckpt_iter()) return 0.0;
+  // Each server replicates its full model state into a remote server's CPU
+  // memory (machine-level failure domains); the server's GPUs split the
+  // shipping, so each GPU moves 3Ψ/gpus_per_server over its NIC share.
+  // Traffic interleaves with training; training stalls when the previous
+  // checkpoint is still in flight (single staging buffer).
+  const double traffic_bytes = static_cast<double>(workload_.full_ckpt_bytes()) /
+                               static_cast<double>(cluster_.gpus_per_server);
+  const double t_traffic = traffic_bytes / eff_net_bw();
+  const double wait = std::max(0.0, net_free_ - iter_end);
+  net_free_ = std::max(net_free_, iter_end) + t_traffic;
+  ++stats_.full_ckpts;  // in-memory checkpoint (persistence is rare/async)
+  return wait + kIpcOpSec;
+}
+
+double StrategyTimeline::step_naive_dc(double iter_end) {
+  double stall = 0.0;
+  if (is_ckpt_iter() && !is_full_ckpt_iter()) {
+    // Differential = state subtraction + top-k over the parameter diff —
+    // on the critical path (WAR dependency, Fig. 3a), as is the transfer.
+    const double t_sub = 3.0 * static_cast<double>(workload_.params) /
+                         cluster_.gpu_diff_throughput;
+    const double t_comp =
+        workload_.compressed()
+            ? static_cast<double>(workload_.params) / cluster_.gpu_compress_throughput
+            : 0.0;
+    const auto bytes = workload_.naive_diff_bytes();
+    const double t_pcie = static_cast<double>(bytes) / pcie_bw();
+    const double wait_buf = std::max(0.0, storage_free_ - iter_end);
+    stall = t_sub + t_comp + t_pcie + wait_buf;
+    storage_free_ = iter_end + stall + static_cast<double>(bytes) / eff_storage_bw();
+    ++stats_.diff_ckpts;
+    ++stats_.storage_writes;
+    stats_.bytes_to_storage += bytes;
+  }
+  if (is_full_ckpt_iter()) {
+    // Full checkpoint handled CheckFreq-style (snapshot + async persist).
+    const auto bytes = workload_.full_ckpt_bytes();
+    const double wait_buf = std::max(0.0, storage_free_ - iter_end);
+    const double snap = static_cast<double>(bytes) / pcie_bw();
+    const double overlap = workload_.iter_compute_sec * kBackwardWindowFrac;
+    stall += wait_buf + std::max(0.0, snap - overlap) +
+             kSnapshotInterference * std::min(snap, overlap);
+    storage_free_ = iter_end + stall + static_cast<double>(bytes) / eff_storage_bw();
+    ++stats_.full_ckpts;
+    ++stats_.storage_writes;
+    stats_.bytes_to_storage += bytes;
+  }
+  return stall;
+}
+
+double StrategyTimeline::step_lowdiff(double iter_end) {
+  double stall = 0.0;
+  const auto diff_bytes = workload_.lowdiff_diff_bytes();
+  if (is_ckpt_iter()) {
+    // Training side: zero-copy enqueue of the synchronized compressed
+    // gradient (Algorithm 1 line 6).
+    stall += kIpcOpSec;
+    if (!config_.zero_copy_queue) {
+      // Ablation: the training thread serializes + copies the payload
+      // into the queue instead of sharing the memory handle.
+      stall += static_cast<double>(diff_bytes) / kHostMemcpyBw;
+    }
+
+    // Checkpointing side: offload the handle's payload over PCIe.
+    const double t_off = static_cast<double>(diff_bytes) / pcie_bw();
+    const double off_start = std::max(pcie_free_, iter_end);
+    pcie_free_ = off_start + t_off;
+
+    // Bounded queue: if offloads fall behind by more than the queue
+    // capacity, the producer blocks (Limitation 2, §4.2).
+    const double backlog = pcie_free_ - iter_end;
+    const double capacity_time =
+        static_cast<double>(config_.queue_capacity) * t_off;
+    if (backlog > capacity_time) stall += backlog - capacity_time;
+
+    ++stats_.diff_ckpts;
+    ++batch_pending_;
+    const double diff_frac =
+        static_cast<double>(diff_bytes) /
+        static_cast<double>(workload_.full_ckpt_bytes());
+    const std::uint64_t resident =
+        config_.offload_batching_to_cpu ? 1 : batch_pending_;
+    stats_.device_mem_overhead_frac =
+        std::max(stats_.device_mem_overhead_frac,
+                 static_cast<double>(resident + 1) * diff_frac);
+
+    if (batch_pending_ >= config_.batch_size) {
+      // One batched write (Fig. 4 step 3), asynchronous.  The CPU buffer
+      // absorbs bursts; training is back-pressured only once the storage
+      // backlog exceeds the buffer budget (in seconds of link time), which
+      // is what turns a sustained throughput deficit into a stall.
+      const auto batch_bytes = diff_bytes * batch_pending_;
+      const double t_write =
+          kStorageOpSec + static_cast<double>(batch_bytes) / eff_storage_bw();
+      const double backlog_limit = kStorageBufferIters * baseline_iteration_time();
+      const double storage_backlog = std::max(0.0, storage_free_ - iter_end);
+      if (storage_backlog > backlog_limit) {
+        stall += storage_backlog - backlog_limit;
+      }
+      storage_free_ = std::max(storage_free_, iter_end) + t_write;
+      stats_.storage_busy_time += t_write;
+      batch_pending_ = 0;
+      ++stats_.storage_writes;
+      stats_.bytes_to_storage += batch_bytes;
+    }
+  }
+  if (is_full_ckpt_iter()) {
+    // Regular full checkpoint (Algorithm 1 line 15).  The data-parallel
+    // group partitions the full state across its ranks (DeepSpeed-style
+    // sharded save): each GPU snapshots and persists 1/N of 3Ψ.
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(workload_.full_ckpt_bytes()) /
+        static_cast<double>(cluster_.num_gpus));
+    const double wait_buf = std::max(0.0, storage_free_ - iter_end);
+    const double snap = static_cast<double>(bytes) / pcie_bw();
+    const double overlap = workload_.iter_compute_sec * kBackwardWindowFrac;
+    stall += wait_buf + std::max(0.0, snap - overlap) +
+             kSnapshotInterference * std::min(snap, overlap);
+    storage_free_ = iter_end + stall + static_cast<double>(bytes) / eff_storage_bw();
+    ++stats_.full_ckpts;
+    ++stats_.storage_writes;
+    stats_.bytes_to_storage += bytes;
+  }
+  return stall;
+}
+
+double StrategyTimeline::step_lowdiff_plus(double iter_end) {
+  double stall = 0.0;
+  if (is_ckpt_iter()) {
+    // Queue/thread-pool bookkeeping (Algorithm 2's handle sets).
+    stall += kIpcOpSec;
+    // Layer-wise snapshot of the dense gradient, pipelined with backward
+    // (Algorithm 2).  Host copies contend with backward kernels.
+    const auto bytes = workload_.dense_grad_bytes();
+    const double t_off = static_cast<double>(bytes) / pcie_bw();
+    const double window = workload_.iter_compute_sec * kBackwardWindowFrac;
+    stall += std::max(0.0, t_off - window) +
+             kLayerwiseContention * std::min(t_off, window);
+
+    const double off_done = iter_end + t_off;
+    pcie_free_ = std::max(pcie_free_, off_done);
+
+    // CPU replica update (host Adam over the dense gradient).
+    const double t_cpu = static_cast<double>(workload_.params) /
+                         cluster_.cpu_update_throughput;
+    const double cpu_start = std::max(cpu_free_, off_done);
+    cpu_free_ = cpu_start + t_cpu;
+    const double backlog_limit = kCpuBacklogIters * baseline_iteration_time();
+    const double cpu_backlog = cpu_free_ - iter_end;
+    if (cpu_backlog > backlog_limit) stall += cpu_backlog - backlog_limit;
+
+    ++stats_.diff_ckpts;  // in-memory differential checkpoint each iteration
+  }
+  // Asynchronous persistence of the sharded CPU replica — fully decoupled
+  // from GPU training (never stalls), bounded by storage bandwidth via
+  // auto_persist_interval_.
+  if ((iter_ + 1) % auto_persist_interval_ == 0) {
+    const auto shard = static_cast<std::uint64_t>(
+        static_cast<double>(workload_.full_ckpt_bytes()) /
+        static_cast<double>(cluster_.num_gpus));
+    storage_free_ = std::max(storage_free_, iter_end) +
+                    static_cast<double>(shard) / eff_storage_bw();
+    ++stats_.full_ckpts;
+    ++stats_.storage_writes;
+    stats_.bytes_to_storage += shard;
+  }
+  return stall;
+}
+
+double StrategyTimeline::step_pccheck(double iter_end) {
+  if (!is_ckpt_iter()) return 0.0;
+  // PCcheck (Strati et al.): full checkpoints into persistent main memory,
+  // pipelined across multiple concurrent checkpoint buffers — a new
+  // checkpoint only stalls once the PMEM backlog exceeds the concurrent-
+  // checkpoint window.  The snapshot stays a blocking device->host copy.
+  constexpr double kConcurrentCheckpoints = 4.0;
+  const auto bytes = workload_.full_ckpt_bytes();
+  const double snap = static_cast<double>(bytes) / pcie_bw();
+  const double pmem_bw = cluster_.pmem.bytes_per_sec /
+                         static_cast<double>(cluster_.gpus_per_server);
+  const double t_write = static_cast<double>(bytes) / pmem_bw;
+  const double backlog = std::max(0.0, pmem_free_ - iter_end);
+  const double limit = kConcurrentCheckpoints * t_write;
+  const double wait = backlog > limit ? backlog - limit : 0.0;
+  pmem_free_ = std::max(pmem_free_, iter_end) + t_write;
+  ++stats_.full_ckpts;
+  ++stats_.storage_writes;
+  stats_.bytes_to_storage += bytes;
+  stats_.storage_busy_time += t_write;
+  return snap + wait;
+}
+
+double StrategyTimeline::load_and_replay_time(std::uint64_t diffs_to_replay) const {
+  const double read_bw = cluster_.storage_read_bytes_per_sec;
+  const double full_bytes = static_cast<double>(workload_.full_ckpt_bytes());
+  const double t_load_full = full_bytes / read_bw;
+
+  switch (config_.kind) {
+    case StrategyKind::kNone:
+      return 0.0;  // nothing to load; all progress is lost
+    case StrategyKind::kTorchSave:
+    case StrategyKind::kCheckFreq:
+      return t_load_full;
+    case StrategyKind::kPCcheck:
+      // Reload from PMEM; reads are faster than writes and recovery is
+      // one reader at a time, so the full device bandwidth applies.
+      return full_bytes / cluster_.pmem.bytes_per_sec;
+    case StrategyKind::kGemini: {
+      // Restore from remote CPU memory over the network.
+      return full_bytes / eff_net_bw();
+    }
+    case StrategyKind::kNaiveDC: {
+      // Serial: load full, then read + merge each differential in turn.
+      const double t_read_diff =
+          static_cast<double>(workload_.naive_diff_bytes()) / read_bw;
+      const double t_merge = 3.0 * static_cast<double>(workload_.params) /
+                             cluster_.cpu_merge_throughput;
+      return t_load_full +
+             static_cast<double>(diffs_to_replay) * (t_read_diff + t_merge);
+    }
+    case StrategyKind::kLowDiff: {
+      // Parallel recovery (Fig. 7): differential reads proceed in parallel
+      // with the full-checkpoint load across the server's GPUs; merge
+      // rounds are logarithmic in the differential count.
+      const double t_read_diffs =
+          static_cast<double>(workload_.lowdiff_diff_bytes()) *
+          static_cast<double>(diffs_to_replay) / read_bw /
+          static_cast<double>(cluster_.gpus_per_server);
+      const double merge_rounds = diffs_to_replay == 0
+                                      ? 0.0
+                                      : std::ceil(std::log2(
+                                            static_cast<double>(diffs_to_replay) + 1));
+      // Each merge round touches the (sparse) differential payload.
+      const double t_merge_round =
+          static_cast<double>(workload_.lowdiff_diff_bytes()) / 4.0 /
+          cluster_.cpu_merge_throughput * 2.0;
+      // Per batched-DC merge with the full checkpoint — Eq. (3)'s R_D term
+      // (one merge operation per batched differential).
+      const double batches =
+          std::ceil(static_cast<double>(diffs_to_replay) /
+                    static_cast<double>(std::max<std::uint64_t>(1, config_.batch_size)));
+      const double t_batch_merges =
+          batches * kMergeOpIterFrac * baseline_iteration_time();
+      // Applying the replayed gradients through the optimizer.
+      const double t_apply = static_cast<double>(diffs_to_replay) *
+                             static_cast<double>(workload_.params) *
+                             (workload_.compressed() ? workload_.rho : 1.0) /
+                             cluster_.cpu_merge_throughput;
+      return std::max(t_load_full, t_read_diffs) +
+             merge_rounds * t_merge_round + t_batch_merges + t_apply;
+    }
+    case StrategyKind::kLowDiffPlus: {
+      // Software failure: restore the CPU-resident replica to the device.
+      return full_bytes / pcie_bw();
+    }
+  }
+  return t_load_full;
+}
+
+std::uint64_t StrategyTimeline::worst_case_lost_iterations() const {
+  switch (config_.kind) {
+    case StrategyKind::kNone:
+      return stats_.iterations;  // no checkpoint: everything is lost
+    case StrategyKind::kTorchSave:
+    case StrategyKind::kCheckFreq:
+    case StrategyKind::kGemini:
+    case StrategyKind::kPCcheck:
+      return config_.ckpt_interval;
+    case StrategyKind::kNaiveDC:
+      return config_.ckpt_interval;  // diffs recover up to the last diff
+    case StrategyKind::kLowDiff:
+      // A failure loses the not-yet-persisted batch (§4.3: up to b
+      // gradients in the batch buffer).
+      return config_.ckpt_interval * config_.batch_size;
+    case StrategyKind::kLowDiffPlus:
+      return 1;  // CPU replica trails the GPU by at most one iteration
+  }
+  return config_.ckpt_interval;
+}
+
+std::uint64_t StrategyTimeline::replayable_diffs() const {
+  switch (config_.kind) {
+    case StrategyKind::kNaiveDC:
+      return config_.full_interval / std::max<std::uint64_t>(1, config_.ckpt_interval) / 2;
+    case StrategyKind::kLowDiff:
+      // Average case: half the full-checkpoint interval, batched.
+      return config_.full_interval /
+             std::max<std::uint64_t>(1, config_.ckpt_interval) / 2;
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t max_checkpoint_frequency(const ClusterSpec& cluster,
+                                       const Workload& workload,
+                                       StrategyConfig config,
+                                       double overhead_bound,
+                                       std::uint64_t max_interval,
+                                       std::uint64_t measure_iters) {
+  StrategyTimeline probe(cluster, workload, {StrategyKind::kNone, 1});
+  const double baseline = probe.baseline_iteration_time();
+  for (std::uint64_t interval = 1; interval <= max_interval; ++interval) {
+    config.ckpt_interval = interval;
+    if (config.kind != StrategyKind::kLowDiff &&
+        config.kind != StrategyKind::kNaiveDC) {
+      config.full_interval = interval;
+    }
+    StrategyTimeline timeline(cluster, workload, config);
+    const auto stats = timeline.run(measure_iters);
+    const double overhead = stats.avg_iteration_time() / baseline - 1.0;
+    if (overhead <= overhead_bound) return interval;
+  }
+  return max_interval;
+}
+
+}  // namespace lowdiff::sim

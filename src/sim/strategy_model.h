@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file strategy_model.h
+/// Analytic per-iteration timeline models of every checkpointing strategy
+/// in the paper's evaluation (§6.1 Baselines + LowDiff/LowDiff+).
+///
+/// The model advances one training iteration at a time, keeping
+/// "resource-free-at" clocks for the PCIe link, the storage link, the
+/// checkpoint share of the network, and the host CPU.  Training stalls
+/// whenever a strategy's synchronous step must wait on one of those clocks
+/// — exactly the compression/transmission stalls of Fig. 1 — and overlapped
+/// (asynchronous) work advances the clocks without stalling.
+///
+/// Resource sharing mirrors the testbed: the SSD and the NIC of a server
+/// are shared by its `gpus_per_server` GPUs; PCIe is per-GPU; collectives
+/// run at server granularity after an intra-server NVLink reduction.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cluster.h"
+#include "sim/workload.h"
+
+namespace lowdiff::sim {
+
+enum class StrategyKind {
+  kNone,         ///< W/O CKPT upper bound
+  kTorchSave,    ///< synchronous torch.save baseline
+  kCheckFreq,    ///< snapshot/persist pipeline (Mohan et al.)
+  kGemini,       ///< CPU-memory checkpointing w/ traffic interleaving
+  kNaiveDC,      ///< Check-N-Run style differential checkpointing
+  kLowDiff,      ///< gradient reuse + batched writes (this paper)
+  kLowDiffPlus,  ///< layer-wise reuse w/o compression (this paper, §5)
+  kPCcheck,      ///< PMEM checkpointing w/ concurrent checkpoints (§2.2)
+};
+
+const char* to_string(StrategyKind kind);
+
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kLowDiff;
+  /// Iterations between checkpoints: differential checkpoints for the DC
+  /// strategies, full checkpoints for TorchSave/CheckFreq/Gemini.
+  std::uint64_t ckpt_interval = 1;
+  /// DC strategies: iterations between *full* checkpoints (the paper's FCF
+  /// is expressed as this interval).
+  std::uint64_t full_interval = 100;
+  /// LowDiff: number of differentials merged per batched write (BS).
+  std::uint64_t batch_size = 2;
+  /// LowDiff+: iterations between persisting the CPU replica; 0 = auto
+  /// (lowest interval the storage link sustains).
+  std::uint64_t persist_interval = 0;
+  /// Reusing-queue capacity in payloads (bounds device-resident in-flight
+  /// gradients).
+  std::uint64_t queue_capacity = 8;
+  /// Exp. 6(b) ablation: batching buffer on CPU (true, default) or GPU.
+  bool offload_batching_to_cpu = true;
+  /// Ablation: zero-copy handle transmission through the reusing queue
+  /// (true, default — §4.1 Requirement 2) vs copying the payload on the
+  /// training thread before enqueue.
+  bool zero_copy_queue = true;
+};
+
+/// Cumulative timeline statistics for one simulated worker.
+struct TimelineStats {
+  double total_time = 0.0;     ///< wall seconds for all iterations
+  double compute_time = 0.0;   ///< fwd+bwd+update
+  double compress_time = 0.0;  ///< gradient (not differential) compression
+  double sync_time = 0.0;      ///< collective communication
+  double stall_time = 0.0;     ///< checkpoint-induced training stalls
+  std::uint64_t iterations = 0;
+  std::uint64_t diff_ckpts = 0;
+  std::uint64_t full_ckpts = 0;
+  std::uint64_t storage_writes = 0;  ///< I/O operations issued
+  std::uint64_t bytes_to_storage = 0;
+  /// Modeled seconds of storage-link occupancy (transfer + per-write op
+  /// cost) — the quantity batched writes reduce (Exp. 6a / ablation A3).
+  double storage_busy_time = 0.0;
+
+  /// Peak device-memory overhead from in-flight checkpoint payloads, as a
+  /// fraction of the model-state footprint (Exp. 6(b)).
+  double device_mem_overhead_frac = 0.0;
+
+  double avg_iteration_time() const {
+    return iterations == 0 ? 0.0 : total_time / static_cast<double>(iterations);
+  }
+};
+
+/// Per-iteration timeline engine.  Deterministic: same inputs => same
+/// timeline.
+class StrategyTimeline {
+ public:
+  StrategyTimeline(ClusterSpec cluster, Workload workload, StrategyConfig config);
+
+  /// Advances one iteration and returns its wall duration in seconds.
+  double step();
+
+  /// Runs `iterations` steps from the current state.
+  TimelineStats run(std::uint64_t iterations);
+
+  /// Resets all clocks and counters.
+  void reset();
+
+  const TimelineStats& stats() const { return stats_; }
+  const StrategyConfig& config() const { return config_; }
+  const Workload& workload() const { return workload_; }
+
+  /// Baseline (no-checkpoint) iteration duration for this workload —
+  /// denominators of every overhead ratio.
+  double baseline_iteration_time() const;
+
+  /// Seconds to recover after a failure, *excluding* the re-execution of
+  /// lost iterations (load + replay of differentials).  `diffs_to_replay`
+  /// counts differential checkpoints between the loaded full checkpoint
+  /// and the failure point.
+  double load_and_replay_time(std::uint64_t diffs_to_replay) const;
+
+  /// Iterations of training progress lost at an arbitrary failure instant
+  /// (worst case): work since the last *recoverable* checkpoint.
+  std::uint64_t worst_case_lost_iterations() const;
+
+  /// Full recovery cost: load_and_replay + re-executing lost iterations.
+  double recovery_time() const {
+    return load_and_replay_time(replayable_diffs()) +
+           static_cast<double>(worst_case_lost_iterations()) *
+               baseline_iteration_time();
+  }
+
+  /// Differentials that must be replayed in the worst case.
+  std::uint64_t replayable_diffs() const;
+
+  /// LowDiff+ only: the resolved persistence interval (iterations between
+  /// CPU-replica persists) — the Exp. 4 LowDiff+(P) metric.
+  std::uint64_t persist_interval() const { return auto_persist_interval_; }
+
+ private:
+  // Per-iteration strategy hooks; return the stall (seconds) charged to
+  // training for this iteration.
+  double step_none();
+  double step_torch_save(double iter_end);
+  double step_checkfreq(double iter_end);
+  double step_gemini(double iter_end);
+  double step_naive_dc(double iter_end);
+  double step_lowdiff(double iter_end);
+  double step_lowdiff_plus(double iter_end);
+  double step_pccheck(double iter_end);
+
+  bool is_ckpt_iter() const { return (iter_ + 1) % config_.ckpt_interval == 0; }
+  bool is_full_ckpt_iter() const {
+    return (iter_ + 1) % config_.full_interval == 0;
+  }
+
+  double eff_storage_bw() const;  ///< SSD share of one GPU
+  double eff_net_bw() const;      ///< NIC share of one GPU (ckpt traffic)
+  double pcie_bw() const { return cluster_.gpu.pcie.bytes_per_sec; }
+
+  double compress_cost() const;  ///< per-iteration gradient compression
+  double sync_cost() const;      ///< per-iteration collective time
+
+  ClusterSpec cluster_;
+  Workload workload_;
+  StrategyConfig config_;
+
+  // Clocks (absolute seconds on this worker's timeline).
+  double now_ = 0.0;
+  double pcie_free_ = 0.0;
+  double storage_free_ = 0.0;
+  double pmem_free_ = 0.0;
+  double net_free_ = 0.0;
+  double cpu_free_ = 0.0;
+
+  std::uint64_t iter_ = 0;
+  std::uint64_t batch_pending_ = 0;   // differentials awaiting a batched write
+  std::uint64_t auto_persist_interval_ = 1;  // resolved LowDiff+ persistence
+
+  TimelineStats stats_;
+};
+
+/// Smallest checkpoint interval (1 = every iteration) whose steady-state
+/// overhead stays within `overhead_bound` of the no-checkpoint baseline —
+/// the Exp. 4 / Exp. 8 metric.  Searches intervals in [1, max_interval];
+/// returns max_interval if even that violates the bound.
+std::uint64_t max_checkpoint_frequency(const ClusterSpec& cluster,
+                                       const Workload& workload,
+                                       StrategyConfig config,
+                                       double overhead_bound = 0.035,
+                                       std::uint64_t max_interval = 64,
+                                       std::uint64_t measure_iters = 400);
+
+}  // namespace lowdiff::sim

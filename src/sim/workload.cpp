@@ -1,0 +1,45 @@
+#include "sim/workload.h"
+
+#include "common/error.h"
+
+namespace lowdiff::sim {
+namespace {
+
+struct ModelEntry {
+  const char* name;
+  std::uint64_t params;
+  /// Calibrated fwd+bwd+update seconds per iteration on one A100 at the
+  /// paper's batch sizes.  Only ratios between checkpointing costs and
+  /// these times matter for the reproduced results.
+  double a100_iter_sec;
+};
+
+constexpr ModelEntry kModels[] = {
+    {"ResNet-50", 25'600'000ull, 0.055},
+    {"ResNet-101", 44'500'000ull, 0.095},
+    {"VGG-16", 138'800'000ull, 0.140},
+    {"VGG-19", 143'700'000ull, 0.160},
+    {"BERT-B", 110'000'000ull, 0.110},
+    {"BERT-L", 334'000'000ull, 0.280},
+    {"GPT2-S", 117'000'000ull, 0.120},
+    {"GPT2-L", 762'000'000ull, 0.450},
+};
+
+}  // namespace
+
+Workload Workload::for_model(const std::string& name, const GpuGeneration& gpu,
+                             double rho) {
+  for (const auto& entry : kModels) {
+    if (name == entry.name) {
+      Workload w;
+      w.model = name;
+      w.params = entry.params;
+      w.iter_compute_sec = entry.a100_iter_sec * gpu.compute_scale;
+      w.rho = rho;
+      return w;
+    }
+  }
+  throw Error("unknown workload model: " + name, std::source_location::current());
+}
+
+}  // namespace lowdiff::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file workload.h
+/// A training workload for the timeline simulator: model size, calibrated
+/// per-iteration compute time, and the gradient-compression setting.
+/// Derived byte sizes implement the paper's accounting:
+///   full checkpoint      = 3Ψ floats            (params + 2 Adam moments)
+///   compressed gradient  = ρΨ (index,value) pairs = 8ρΨ bytes
+///   naive-DC differential = compressed params (8ρΨ) + raw optimizer (8Ψ)
+///     — Check-N-Run does not sparsify optimizer state (Exp. 7 analysis)
+///   dense gradient       = 4Ψ bytes             (LowDiff+ mode)
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace lowdiff::sim {
+
+struct Workload {
+  std::string model;
+  std::uint64_t params = 0;         ///< Ψ
+  double iter_compute_sec = 0.1;    ///< fwd+bwd+update on this GPU
+  double rho = 0.01;                ///< sparsification ratio; 0 => dense mode
+  std::size_t pipeline_stages = 1;  ///< >1 => pipeline-parallel variant
+
+  bool compressed() const { return rho > 0.0; }
+
+  std::uint64_t full_ckpt_bytes() const { return 12 * params; }
+  std::uint64_t dense_grad_bytes() const { return 4 * params; }
+  std::uint64_t sparse_grad_bytes() const {
+    return static_cast<std::uint64_t>(8.0 * rho * static_cast<double>(params));
+  }
+  /// Differential the checkpointing path writes per checkpoint.
+  std::uint64_t lowdiff_diff_bytes() const {
+    return compressed() ? sparse_grad_bytes() : dense_grad_bytes();
+  }
+  std::uint64_t naive_diff_bytes() const {
+    const double comp_params = compressed()
+                                   ? 8.0 * rho * static_cast<double>(params)
+                                   : 4.0 * static_cast<double>(params);
+    return static_cast<std::uint64_t>(comp_params) + 8 * params;
+  }
+
+  /// Builds the workload for one of the paper's eight models (Table II(b))
+  /// on the given GPU generation.  `rho` = 0 selects the non-compression
+  /// (LowDiff+) regime.
+  static Workload for_model(const std::string& name, const GpuGeneration& gpu,
+                            double rho);
+};
+
+}  // namespace lowdiff::sim

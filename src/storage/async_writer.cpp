@@ -1,0 +1,64 @@
+#include "storage/async_writer.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace lowdiff {
+
+AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend,
+                         std::size_t max_pending)
+    : backend_(std::move(backend)), queue_(max_pending) {
+  LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
+  worker_ = std::thread([this] { run(); });
+}
+
+AsyncWriter::~AsyncWriter() { shutdown(); }
+
+bool AsyncWriter::submit(std::string key, std::vector<std::byte> bytes,
+                         std::function<void()> on_done) {
+  auto job = std::make_shared<const Job>(
+      Job{std::move(key), std::move(bytes), std::move(on_done)});
+  if (!queue_.put(std::move(job))) return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool AsyncWriter::try_submit(std::string key, std::vector<std::byte> bytes,
+                             std::function<void()> on_done) {
+  auto job = std::make_shared<const Job>(
+      Job{std::move(key), std::move(bytes), std::move(on_done)});
+  if (!queue_.try_put(std::move(job))) return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AsyncWriter::flush() {
+  const std::uint64_t target = submitted_.load(std::memory_order_acquire);
+  std::unique_lock lock(flush_mutex_);
+  flush_cv_.wait(lock, [this, target] {
+    return completed_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+void AsyncWriter::shutdown() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void AsyncWriter::run() {
+  for (;;) {
+    auto job = queue_.get();
+    if (!job.has_value()) return;  // closed and drained
+    const Job& j = **job;
+    try {
+      backend_->write(j.key, j.bytes);
+      if (j.on_done) j.on_done();
+    } catch (const std::exception& e) {
+      LOWDIFF_LOG_ERROR("async write of '", j.key, "' failed: ", e.what());
+    }
+    completed_.fetch_add(1, std::memory_order_release);
+    flush_cv_.notify_all();
+  }
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file async_writer.h
+/// Background persistence thread: the "persist" half of CheckFreq's
+/// snapshot/persist decomposition, also used by LowDiff's checkpointing
+/// process to overlap storage writes with training.
+///
+/// Jobs are (key, bytes) pairs executed FIFO on a dedicated thread.  The
+/// queue depth is bounded; a full queue back-pressures the submitter —
+/// exactly the condition under which frequent checkpointing starts stalling
+/// training (paper Challenge 2).
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "queue/reusing_queue.h"
+#include "storage/backend.h"
+
+namespace lowdiff {
+
+class AsyncWriter {
+ public:
+  struct Job {
+    std::string key;
+    std::vector<std::byte> bytes;
+    /// Invoked on the writer thread after the write completes.
+    std::function<void()> on_done;
+  };
+
+  /// `max_pending`: bound on queued jobs (0 = unbounded).
+  explicit AsyncWriter(std::shared_ptr<StorageBackend> backend,
+                       std::size_t max_pending = 0);
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Drains all pending jobs, then joins the writer thread.
+  ~AsyncWriter();
+
+  /// Enqueues a write.  Blocks if the pending queue is full.  Returns false
+  /// if the writer is already shut down.
+  bool submit(std::string key, std::vector<std::byte> bytes,
+              std::function<void()> on_done = {});
+
+  /// Non-blocking submit; false if full or shut down (caller decides
+  /// whether to stall or drop — strategies differ).
+  bool try_submit(std::string key, std::vector<std::byte> bytes,
+                  std::function<void()> on_done = {});
+
+  /// Blocks until every job submitted so far has been written.
+  void flush();
+
+  /// Stops accepting jobs, drains, joins.  Idempotent.
+  void shutdown();
+
+  std::uint64_t completed_jobs() const { return completed_.load(); }
+  std::size_t pending_jobs() const { return queue_.size(); }
+
+ private:
+  void run();
+
+  std::shared_ptr<StorageBackend> backend_;
+  ReusingQueue<Job> queue_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  std::thread worker_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file backend.h
+/// Storage backend abstraction: where checkpoints are persisted (paper:
+/// local SSD or remote storage).  Keys are flat strings managed by the
+/// CheckpointStore naming scheme.  Implementations must be thread-safe —
+/// the async persist thread and the recovery path may overlap.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lowdiff {
+
+struct StorageStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Atomically replaces the object at `key`.
+  virtual void write(const std::string& key, std::span<const std::byte> bytes) = 0;
+
+  /// Returns the object, or std::nullopt if absent.
+  virtual std::optional<std::vector<std::byte>> read(const std::string& key) const = 0;
+
+  virtual bool exists(const std::string& key) const = 0;
+  virtual void remove(const std::string& key) = 0;
+
+  /// All keys, lexicographically sorted (recovery scans the manifest).
+  virtual std::vector<std::string> list() const = 0;
+
+  virtual StorageStats stats() const = 0;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,48 @@
+#include "storage/bandwidth.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+Throttler::Throttler(LinkSpec link, double time_scale)
+    : link_(link), time_scale_(time_scale),
+      origin_(std::chrono::steady_clock::now()) {
+  LOWDIFF_ENSURE(time_scale > 0.0, "time scale must be positive");
+}
+
+double Throttler::acquire(std::uint64_t bytes) {
+  const double cost = link_.transfer_time(bytes);          // modeled seconds
+  const double wall_cost = cost * time_scale_;              // wall seconds
+  double finish;
+  {
+    std::lock_guard lock(mutex_);
+    const double now = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - origin_)
+                           .count();
+    const double start = std::max(now, next_free_);
+    finish = start + wall_cost;
+    next_free_ = finish;
+    busy_time_ += cost;
+    total_bytes_ += bytes;
+  }
+  std::this_thread::sleep_until(
+      origin_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(finish)));
+  return cost;
+}
+
+double Throttler::busy_time() const {
+  std::lock_guard lock(mutex_);
+  return busy_time_;
+}
+
+std::uint64_t Throttler::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  return total_bytes_;
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file bandwidth.h
+/// Link bandwidth/latency models.
+///
+/// Two uses: (1) analytic cost in the discrete-event simulator,
+/// (2) real-time throttling of byte movement in live experiments.  All
+/// live throttles share one global `time_scale` so a whole experiment can
+/// be sped up uniformly without changing any ratio — see DESIGN.md §1.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/units.h"
+
+namespace lowdiff {
+
+/// α–β cost model for a single link.
+struct LinkSpec {
+  double bytes_per_sec = 1.0 * kGB;
+  double latency_sec = 0.0;
+
+  /// Time (seconds, unscaled) to move `bytes` over this link.
+  double transfer_time(std::uint64_t bytes) const {
+    return latency_sec + static_cast<double>(bytes) / bytes_per_sec;
+  }
+};
+
+/// Hardware presets used in the paper's testbed (Table II(a) and §6.1).
+namespace links {
+/// PCIe Gen4 x16 host<->device, ~25 GB/s effective (A100 servers).
+inline LinkSpec pcie_gen4() { return {25.0 * kGB, 5e-6}; }
+/// PCIe Gen3 x16, ~12 GB/s effective (V100S servers).
+inline LinkSpec pcie_gen3() { return {12.0 * kGB, 5e-6}; }
+/// 25 Gbps Mellanox ConnectX-5 InfiniBand.
+inline LinkSpec ib_25gbps() { return {gbps_to_bytes_per_sec(25.0), 2e-6}; }
+/// NVLink intra-server, ~300 GB/s aggregate.
+inline LinkSpec nvlink() { return {300.0 * kGB, 1e-6}; }
+/// Samsung SATA/NVMe SSD sustained write, ~2 GB/s.
+inline LinkSpec ssd() { return {2.0 * kGB, 50e-6}; }
+/// Remote storage over the 25 Gbps fabric.
+inline LinkSpec remote_storage() { return {gbps_to_bytes_per_sec(25.0), 200e-6}; }
+}  // namespace links
+
+/// Real-time rate limiter over a LinkSpec.  Concurrent callers are
+/// serialized FIFO on the link: each transfer begins when the previous one
+/// finishes, modeling queueing contention (e.g. many snapshot threads
+/// sharing one PCIe link).  The wall-clock cost is
+/// transfer_time(bytes) * time_scale.
+class Throttler {
+ public:
+  explicit Throttler(LinkSpec link, double time_scale = 1.0);
+
+  /// Blocks until the transfer completes.  Returns the *modeled* (unscaled)
+  /// transfer time in seconds.
+  double acquire(std::uint64_t bytes);
+
+  const LinkSpec& link() const { return link_; }
+  double time_scale() const { return time_scale_; }
+
+  /// Total modeled seconds of link occupancy so far.
+  double busy_time() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  LinkSpec link_;
+  double time_scale_;
+  mutable std::mutex mutex_;
+  double next_free_ = 0.0;  // wall-clock seconds since construction
+  double busy_time_ = 0.0;  // modeled seconds
+  std::uint64_t total_bytes_ = 0;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace lowdiff

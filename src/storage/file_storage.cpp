@@ -1,0 +1,97 @@
+#include "storage/file_storage.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace lowdiff {
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Keys may contain '/' (logical hierarchy); everything else must be a
+/// conservative portable-filename character.
+std::string sanitize(const std::string& key) {
+  LOWDIFF_ENSURE(!key.empty(), "empty storage key");
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_' ||
+                    c == '/';
+    out.push_back(ok ? c : '_');
+  }
+  LOWDIFF_ENSURE(out.find("..") == std::string::npos, "path traversal in key");
+  return out;
+}
+
+}  // namespace
+
+FileStorage::FileStorage(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+fs::path FileStorage::path_for(const std::string& key) const {
+  return root_ / sanitize(key);
+}
+
+void FileStorage::write(const std::string& key, std::span<const std::byte> bytes) {
+  const fs::path target = path_for(key);
+  fs::create_directories(target.parent_path());
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    LOWDIFF_ENSURE(out.good(), "cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    LOWDIFF_ENSURE(out.good(), "short write to " + tmp.string());
+  }
+  fs::rename(tmp, target);
+  std::lock_guard lock(mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += bytes.size();
+}
+
+std::optional<std::vector<std::byte>> FileStorage::read(const std::string& key) const {
+  const fs::path target = path_for(key);
+  std::ifstream in(target, std::ios::binary | std::ios::ate);
+  if (!in.good()) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  LOWDIFF_ENSURE(in.good() || size == 0, "short read from " + target.string());
+  std::lock_guard lock(mutex_);
+  ++stats_.reads;
+  stats_.bytes_read += size;
+  return bytes;
+}
+
+bool FileStorage::exists(const std::string& key) const {
+  return fs::exists(path_for(key));
+}
+
+void FileStorage::remove(const std::string& key) {
+  fs::remove(path_for(key));
+}
+
+std::vector<std::string> FileStorage::list() const {
+  std::vector<std::string> keys;
+  if (!fs::exists(root_)) return keys;
+  for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const auto rel = fs::relative(entry.path(), root_).generic_string();
+    if (rel.ends_with(".tmp")) continue;
+    keys.push_back(rel);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+StorageStats FileStorage::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace lowdiff

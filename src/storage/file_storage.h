@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file file_storage.h
+/// Filesystem storage backend: one file per key under a root directory,
+/// with write-to-temp + rename for atomicity (a torn checkpoint write must
+/// never be visible to recovery).
+
+#include <filesystem>
+#include <mutex>
+
+#include "storage/backend.h"
+
+namespace lowdiff {
+
+class FileStorage final : public StorageBackend {
+ public:
+  /// Creates `root` (and parents) if missing.
+  explicit FileStorage(std::filesystem::path root);
+
+  void write(const std::string& key, std::span<const std::byte> bytes) override;
+  std::optional<std::vector<std::byte>> read(const std::string& key) const override;
+  bool exists(const std::string& key) const override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> list() const override;
+  StorageStats stats() const override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mutex_;
+  mutable StorageStats stats_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,56 @@
+#include "storage/mem_storage.h"
+
+namespace lowdiff {
+
+void MemStorage::write(const std::string& key, std::span<const std::byte> bytes) {
+  std::lock_guard lock(mutex_);
+  objects_[key].assign(bytes.begin(), bytes.end());
+  ++stats_.writes;
+  stats_.bytes_written += bytes.size();
+}
+
+std::optional<std::vector<std::byte>> MemStorage::read(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  ++stats_.reads;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+bool MemStorage::exists(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return objects_.contains(key);
+}
+
+void MemStorage::remove(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  objects_.erase(key);
+}
+
+std::vector<std::string> MemStorage::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(objects_.size());
+  for (const auto& [k, v] : objects_) keys.push_back(k);
+  return keys;
+}
+
+StorageStats MemStorage::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t MemStorage::resident_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [k, v] : objects_) total += v.size();
+  return total;
+}
+
+void MemStorage::clear() {
+  std::lock_guard lock(mutex_);
+  objects_.clear();
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file mem_storage.h
+/// In-memory storage backend.  Doubles as the "CPU memory tier" for
+/// Gemini-style in-memory checkpointing and as the fast fixture in tests.
+
+#include <map>
+#include <mutex>
+
+#include "storage/backend.h"
+
+namespace lowdiff {
+
+class MemStorage final : public StorageBackend {
+ public:
+  void write(const std::string& key, std::span<const std::byte> bytes) override;
+  std::optional<std::vector<std::byte>> read(const std::string& key) const override;
+  bool exists(const std::string& key) const override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> list() const override;
+  StorageStats stats() const override;
+
+  /// Total bytes currently resident (memory-tier occupancy).
+  std::size_t resident_bytes() const;
+
+  /// Drops every object — models the loss of CPU memory on a hardware
+  /// failure (paper §5.3).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<std::byte>> objects_;
+  mutable StorageStats stats_;
+};
+
+}  // namespace lowdiff

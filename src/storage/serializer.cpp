@@ -1,0 +1,129 @@
+#include "storage/serializer.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'D', 'C', 'K'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 2 + 1 + 8 + 4;
+
+template <typename T>
+void append(std::vector<std::byte>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_at(std::span<const std::byte> bytes, std::size_t offset) {
+  LOWDIFF_ENSURE(offset + sizeof(T) <= bytes.size(), "truncated record");
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+void append_floats(std::vector<std::byte>& out, std::span<const float> v) {
+  append(out, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(v.data());
+  out.insert(out.end(), p, p + v.size_bytes());
+}
+
+std::size_t read_floats(std::span<const std::byte> bytes, std::size_t pos,
+                        std::span<float> out) {
+  const auto n = read_at<std::uint64_t>(bytes, pos);
+  pos += sizeof(std::uint64_t);
+  LOWDIFF_ENSURE(n == out.size(), "float block size mismatch");
+  LOWDIFF_ENSURE(pos + n * sizeof(float) <= bytes.size(), "truncated float block");
+  if (n > 0) std::memcpy(out.data(), bytes.data() + pos, n * sizeof(float));
+  return pos + n * sizeof(float);
+}
+
+}  // namespace
+
+std::vector<std::byte> frame(RecordType type, std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kHeaderSize + payload.size());
+  out.insert(out.end(), reinterpret_cast<const std::byte*>(kMagic),
+             reinterpret_cast<const std::byte*>(kMagic) + 4);
+  append(out, kVersion);
+  append(out, static_cast<std::uint8_t>(type));
+  append(out, static_cast<std::uint64_t>(payload.size()));
+  append(out, crc32c(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::pair<RecordType, std::vector<std::byte>> unframe(
+    std::span<const std::byte> bytes) {
+  LOWDIFF_ENSURE(bytes.size() >= kHeaderSize, "record shorter than header");
+  LOWDIFF_ENSURE(std::memcmp(bytes.data(), kMagic, 4) == 0, "bad checkpoint magic");
+  const auto version = read_at<std::uint16_t>(bytes, 4);
+  LOWDIFF_ENSURE(version == kVersion, "unsupported checkpoint version");
+  const auto type = static_cast<RecordType>(read_at<std::uint8_t>(bytes, 6));
+  const auto payload_len = read_at<std::uint64_t>(bytes, 7);
+  const auto expected_crc = read_at<std::uint32_t>(bytes, 15);
+  LOWDIFF_ENSURE(bytes.size() == kHeaderSize + payload_len,
+                 "record length mismatch");
+  const auto payload = bytes.subspan(kHeaderSize);
+  LOWDIFF_ENSURE(crc32c(payload.data(), payload.size()) == expected_crc,
+                 "checkpoint CRC mismatch (corrupt or torn write)");
+  return {type, std::vector<std::byte>(payload.begin(), payload.end())};
+}
+
+std::vector<std::byte> serialize_model_state(const ModelState& state) {
+  std::vector<std::byte> payload;
+  payload.reserve(state.byte_size() + 64);
+  append(payload, state.step());
+  append(payload, static_cast<std::uint64_t>(state.param_count()));
+  append_floats(payload, state.params().span());
+  append_floats(payload, state.moment1().span());
+  append_floats(payload, state.moment2().span());
+  return frame(RecordType::kFullCheckpoint, payload);
+}
+
+ModelState deserialize_model_state(std::span<const std::byte> bytes,
+                                   const ModelSpec& spec) {
+  auto [type, payload] = unframe(bytes);
+  LOWDIFF_ENSURE(type == RecordType::kFullCheckpoint, "not a full checkpoint");
+  std::size_t pos = 0;
+  const auto step = read_at<std::uint64_t>(payload, pos);
+  pos += sizeof(std::uint64_t);
+  const auto count = read_at<std::uint64_t>(payload, pos);
+  pos += sizeof(std::uint64_t);
+  LOWDIFF_ENSURE(count == spec.param_count(),
+                 "checkpoint parameter count does not match model spec");
+  ModelState state(spec);
+  pos = read_floats(payload, pos, state.params().span());
+  pos = read_floats(payload, pos, state.moment1().span());
+  pos = read_floats(payload, pos, state.moment2().span());
+  LOWDIFF_ENSURE(pos == payload.size(), "trailing bytes in full checkpoint");
+  state.set_step(step);
+  return state;
+}
+
+std::vector<std::byte> serialize_diff(const CompressedGrad& grad) {
+  return frame(RecordType::kDiffCheckpoint, grad.serialize());
+}
+
+CompressedGrad deserialize_diff(std::span<const std::byte> bytes) {
+  auto [type, payload] = unframe(bytes);
+  LOWDIFF_ENSURE(type == RecordType::kDiffCheckpoint, "not a differential checkpoint");
+  return CompressedGrad::deserialize(payload);
+}
+
+std::vector<std::byte> serialize_batch(const BatchedGrad& batch) {
+  return frame(RecordType::kBatchedDiff, batch.serialize());
+}
+
+BatchedGrad deserialize_batch(std::span<const std::byte> bytes) {
+  auto [type, payload] = unframe(bytes);
+  LOWDIFF_ENSURE(type == RecordType::kBatchedDiff, "not a batched differential");
+  return BatchedGrad::deserialize(payload);
+}
+
+}  // namespace lowdiff

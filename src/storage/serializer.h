@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file serializer.h
+/// Checkpoint wire format.
+///
+/// Every persisted object is framed as:
+///   magic "LDCK" | version u16 | type u8 | payload_len u64 | crc32c u32 | payload
+/// The CRC covers the payload; unframe() rejects corrupt or truncated
+/// records, so recovery never consumes a torn write.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "compress/compressed_grad.h"
+#include "compress/merge.h"
+#include "model/model_state.h"
+
+namespace lowdiff {
+
+enum class RecordType : std::uint8_t {
+  kFullCheckpoint = 1,  ///< model state: params + moments + step (3Ψ + meta)
+  kDiffCheckpoint = 2,  ///< one compressed gradient (reused as C^D)
+  kBatchedDiff = 3,     ///< batched differential checkpoint C^B
+  kNaiveDiff = 4,       ///< Check-N-Run style state differential
+  kFullShard = 5,       ///< one rank's slice of a sharded full checkpoint
+};
+
+/// Wraps a payload in the framed format.
+std::vector<std::byte> frame(RecordType type, std::span<const std::byte> payload);
+
+/// Validates magic/version/CRC and returns (type, payload).  Throws Error
+/// on any corruption.
+std::pair<RecordType, std::vector<std::byte>> unframe(std::span<const std::byte> bytes);
+
+/// Full checkpoint ⇄ ModelState.
+std::vector<std::byte> serialize_model_state(const ModelState& state);
+/// `spec` must structurally match what was serialized (validated).
+ModelState deserialize_model_state(std::span<const std::byte> bytes,
+                                   const ModelSpec& spec);
+
+/// Differential checkpoint ⇄ CompressedGrad.
+std::vector<std::byte> serialize_diff(const CompressedGrad& grad);
+CompressedGrad deserialize_diff(std::span<const std::byte> bytes);
+
+/// Batched differential checkpoint ⇄ BatchedGrad.
+std::vector<std::byte> serialize_batch(const BatchedGrad& batch);
+BatchedGrad deserialize_batch(std::span<const std::byte> bytes);
+
+}  // namespace lowdiff

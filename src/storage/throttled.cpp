@@ -1,0 +1,37 @@
+#include "storage/throttled.h"
+
+#include "common/error.h"
+
+namespace lowdiff {
+
+ThrottledStorage::ThrottledStorage(std::shared_ptr<StorageBackend> inner,
+                                   LinkSpec link, double time_scale)
+    : inner_(std::move(inner)),
+      throttler_(std::make_unique<Throttler>(link, time_scale)) {
+  LOWDIFF_ENSURE(inner_ != nullptr, "null inner backend");
+}
+
+void ThrottledStorage::write(const std::string& key,
+                             std::span<const std::byte> bytes) {
+  throttler_->acquire(bytes.size());
+  inner_->write(key, bytes);
+}
+
+std::optional<std::vector<std::byte>> ThrottledStorage::read(
+    const std::string& key) const {
+  auto result = inner_->read(key);
+  if (result.has_value()) throttler_->acquire(result->size());
+  return result;
+}
+
+bool ThrottledStorage::exists(const std::string& key) const {
+  return inner_->exists(key);
+}
+
+void ThrottledStorage::remove(const std::string& key) { inner_->remove(key); }
+
+std::vector<std::string> ThrottledStorage::list() const { return inner_->list(); }
+
+StorageStats ThrottledStorage::stats() const { return inner_->stats(); }
+
+}  // namespace lowdiff

@@ -1,0 +1,84 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace lowdiff::ops {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  LOWDIFF_ENSURE(x.size() == y.size(), "axpy size mismatch");
+  float* __restrict yp = y.data();
+  const float* __restrict xp = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yp[i] += alpha * xp[i];
+}
+
+void copy(std::span<const float> x, std::span<float> y) {
+  LOWDIFF_ENSURE(x.size() == y.size(), "copy size mismatch");
+  if (!x.empty()) std::memcpy(y.data(), x.data(), x.size_bytes());
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  LOWDIFF_ENSURE(a.size() == b.size() && a.size() == out.size(), "add size mismatch");
+  float* __restrict op = out.data();
+  const float* __restrict ap = a.data();
+  const float* __restrict bp = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) op[i] = ap[i] + bp[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  LOWDIFF_ENSURE(a.size() == b.size() && a.size() == out.size(), "sub size mismatch");
+  float* __restrict op = out.data();
+  const float* __restrict ap = a.data();
+  const float* __restrict bp = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) op[i] = ap[i] - bp[i];
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  LOWDIFF_ENSURE(a.size() == b.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) { return dot(x, x); }
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void fill_normal(std::span<float> x, Xoshiro256& rng, float stddev) {
+  for (auto& v : x) v = static_cast<float>(rng.normal()) * stddev;
+}
+
+void fill_uniform(std::span<float> x, Xoshiro256& rng, float lo, float hi) {
+  const float width = hi - lo;
+  for (auto& v : x) v = lo + rng.uniform_float() * width;
+}
+
+bool bit_equal(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+}
+
+float max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  LOWDIFF_ENSURE(a.size() == b.size(), "max_abs_diff size mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace lowdiff::ops

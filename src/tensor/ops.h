@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file ops.h
+/// Elementwise kernels over float spans.  These are the hot loops of the
+/// optimizer, the CPU-side batched gradient accumulation (paper §4.2), and
+/// the differential merges of the recovery path, so they are written as
+/// simple auto-vectorizable loops over restrict-free spans.
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.h"
+
+namespace lowdiff::ops {
+
+/// y += alpha * x  (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// y = x (sizes must match).
+void copy(std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scale(std::span<float> x, float alpha);
+
+/// out = a + b (sizes must match).
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out);
+
+/// out = a - b (sizes must match).
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out);
+
+/// Dot product.
+double dot(std::span<const float> a, std::span<const float> b);
+
+/// Squared L2 norm.
+double squared_norm(std::span<const float> x);
+
+/// Largest absolute element (0 for empty spans).
+float max_abs(std::span<const float> x);
+
+/// Fills with N(0, stddev) samples from the given engine.
+void fill_normal(std::span<float> x, Xoshiro256& rng, float stddev);
+
+/// Fills with U[lo, hi) samples.
+void fill_uniform(std::span<float> x, Xoshiro256& rng, float lo, float hi);
+
+/// True if a and b are elementwise bit-identical.
+bool bit_equal(std::span<const float> a, std::span<const float> b);
+
+/// Maximum absolute elementwise difference.
+float max_abs_diff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace lowdiff::ops

@@ -1,0 +1,19 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace lowdiff {
+
+std::string shape_string(const Tensor& t) {
+  std::ostringstream oss;
+  oss << "[";
+  const auto& shape = t.shape();
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace lowdiff

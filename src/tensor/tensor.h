@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file tensor.h
+/// Dense float32 tensor with value semantics, backed by an aligned buffer.
+///
+/// The checkpointing system moves parameters, optimizer moments, and
+/// gradients around as flat float arrays; shape metadata is carried for the
+/// model zoo but all byte movement treats tensors as contiguous spans.
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+
+namespace lowdiff {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Flat tensor of `size` elements, zero-initialized.
+  explicit Tensor(std::size_t size) : Tensor(std::vector<std::size_t>{size}) {}
+
+  /// Shaped tensor, zero-initialized.
+  explicit Tensor(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)),
+        buffer_(element_count(shape_) * sizeof(float)) {
+    buffer_.fill(std::byte{0});
+  }
+
+  static Tensor from_values(std::initializer_list<float> values) {
+    Tensor t(values.size());
+    std::size_t i = 0;
+    for (float v : values) t.data()[i++] = v;
+    return t;
+  }
+
+  std::size_t size() const {
+    return buffer_.size() / sizeof(float);
+  }
+  bool empty() const { return buffer_.empty(); }
+  std::size_t byte_size() const { return buffer_.size(); }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+
+  float* data() { return buffer_.as<float>(); }
+  const float* data() const { return buffer_.as<float>(); }
+
+  std::span<float> span() { return {data(), size()}; }
+  std::span<const float> span() const { return {data(), size()}; }
+  std::span<const float> cspan() const { return {data(), size()}; }
+
+  float& operator[](std::size_t i) { return data()[i]; }
+  float operator[](std::size_t i) const { return data()[i]; }
+
+  float& at(std::size_t i) {
+    LOWDIFF_ENSURE(i < size(), "tensor index out of range");
+    return data()[i];
+  }
+  float at(std::size_t i) const {
+    LOWDIFF_ENSURE(i < size(), "tensor index out of range");
+    return data()[i];
+  }
+
+  void zero() { buffer_.fill(std::byte{0}); }
+
+  /// Raw byte view, used by serialization and throttled transfers.
+  std::span<const std::byte> bytes() const { return {buffer_.data(), buffer_.size()}; }
+  std::span<std::byte> bytes() { return {buffer_.data(), buffer_.size()}; }
+
+ private:
+  static std::size_t element_count(const std::vector<std::size_t>& shape) {
+    return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                           [](std::size_t a, std::size_t b) { return a * b; });
+  }
+
+  std::vector<std::size_t> shape_;
+  AlignedBuffer buffer_;
+};
+
+/// "[a, b, c]" shape description for diagnostics.
+std::string shape_string(const Tensor& t);
+
+}  // namespace lowdiff

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+
+#include "common/aligned_buffer.h"
+#include "common/crc32.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace lowdiff {
+namespace {
+
+TEST(Error, EnsureThrowsWithMessage) {
+  try {
+    LOWDIFF_ENSURE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(LOWDIFF_CHECK(2 + 2 == 4));
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (RFC 3720 test vector).
+  const char* data = "123456789";
+  EXPECT_EQ(crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32c("", 0), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<unsigned char> data(1037);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(i * 31 + 7);
+  }
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  std::uint32_t inc = 0;
+  std::size_t pos = 0;
+  for (std::size_t chunk : {1u, 3u, 64u, 500u, 469u}) {
+    inc = crc32c(inc, data.data() + pos, chunk);
+    pos += chunk;
+  }
+  ASSERT_EQ(pos, data.size());
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<unsigned char> data(256, 0xAB);
+  const std::uint32_t before = crc32c(data.data(), data.size());
+  data[100] ^= 0x01;
+  EXPECT_NE(crc32c(data.data(), data.size()), before);
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformFloatInRange) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, UniformBelowBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(123);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Xoshiro256 rng(55);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(AlignedBuffer, AlignmentAndZeroSize) {
+  AlignedBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  AlignedBuffer buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % AlignedBuffer::kAlignment,
+            0u);
+}
+
+TEST(AlignedBuffer, CopyAndMoveSemantics) {
+  AlignedBuffer a(64);
+  a.fill(std::byte{0x5A});
+  AlignedBuffer b = a;  // copy
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), 64), 0);
+  b.fill(std::byte{0x00});
+  EXPECT_EQ(static_cast<unsigned char>(a.data()[0]), 0x5Au);  // deep copy
+
+  AlignedBuffer c = std::move(a);
+  EXPECT_EQ(c.size(), 64u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): asserting reset
+}
+
+TEST(AlignedBuffer, AsTypeChecksDivisibility) {
+  AlignedBuffer buf(10);
+  EXPECT_THROW(buf.as<float>(), Error);
+  AlignedBuffer ok(12);
+  EXPECT_NE(ok.as<float>(), nullptr);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([](int x) { return x + 1; }, 41);
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Units, GbpsConversion) {
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(25.0), 25e9 / 8.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2.00K");
+  EXPECT_EQ(format_bytes(3 * kMiB + 200 * kKiB), "3.20M");
+  EXPECT_EQ(format_bytes(9 * kGiB), "9.00G");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(sw.elapsed_sec(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_sec(), 1.0);
+}
+
+}  // namespace
+}  // namespace lowdiff

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/config_optimizer.h"
+
+namespace lowdiff {
+namespace {
+
+WastedTimeParams paper_like_params() {
+  WastedTimeParams p;
+  p.num_gpus = 8;
+  p.mtbf_sec = 3600.0;
+  p.write_bw = 2.0e9;
+  p.full_ckpt_bytes = 1.4e9;  // GPT2-S full checkpoint
+  p.total_train_sec = 24 * 3600.0;
+  p.load_full_sec = 0.7;
+  p.merge_diff_sec = 0.05;
+  return p;
+}
+
+TEST(WastedTimeModel, MatchesHandComputedValue) {
+  WastedTimeParams p;
+  p.num_gpus = 2;
+  p.mtbf_sec = 100.0;
+  p.write_bw = 10.0;
+  p.full_ckpt_bytes = 5.0;
+  p.total_train_sec = 1000.0;
+  p.load_full_sec = 3.0;
+  p.merge_diff_sec = 4.0;
+  const double f = 0.5, b = 2.0;
+  // failures = 10; recovery = 2*10*(1 + 3 + 2*(1/(1) - 1)) = 20*4 = 80
+  // steady = 2*1000*5*0.5/10 = 500
+  EXPECT_NEAR(wasted_time_model(p, f, b), 580.0, 1e-9);
+}
+
+TEST(WastedTimeModel, RejectsNonPositive) {
+  EXPECT_THROW(wasted_time_model(paper_like_params(), 0.0, 1.0), lowdiff::Error);
+  EXPECT_THROW(wasted_time_model(paper_like_params(), 1.0, -1.0), lowdiff::Error);
+}
+
+TEST(OptimalConfig, MatchesEq5ClosedForm) {
+  const auto p = paper_like_params();
+  const auto [f, b] = optimal_config(p);
+  EXPECT_NEAR(f, std::cbrt(p.merge_diff_sec * p.write_bw * p.write_bw /
+                           (4 * p.full_ckpt_bytes * p.full_ckpt_bytes *
+                            p.mtbf_sec * p.mtbf_sec)),
+              1e-12);
+  EXPECT_NEAR(b, std::cbrt(2 * p.full_ckpt_bytes * p.merge_diff_sec *
+                           p.mtbf_sec / p.write_bw),
+              1e-12);
+}
+
+TEST(OptimalConfig, IsStationaryPointOfTheModel) {
+  const auto p = paper_like_params();
+  const auto [f, b] = optimal_config(p);
+  const double base = wasted_time_model(p, f, b);
+  // Perturbing either coordinate should not decrease the model value.
+  for (double scale : {0.8, 0.9, 1.1, 1.25}) {
+    EXPECT_GE(wasted_time_model(p, f * scale, b) + 1e-9, base);
+    EXPECT_GE(wasted_time_model(p, f, b * scale) + 1e-9, base);
+  }
+}
+
+TEST(OptimalConfig, RespondsToParametersAsTheoryPredicts) {
+  auto p = paper_like_params();
+  const auto [f0, b0] = optimal_config(p);
+  // More frequent failures (smaller M) => checkpoint more often, smaller b.
+  p.mtbf_sec /= 4.0;
+  const auto [f1, b1] = optimal_config(p);
+  EXPECT_GT(f1, f0);
+  EXPECT_LT(b1, b0);
+  // Faster storage => checkpoint more often.
+  p = paper_like_params();
+  p.write_bw *= 4.0;
+  const auto [f2, b2] = optimal_config(p);
+  EXPECT_GT(f2, f0);
+  EXPECT_LT(b2, b0);
+}
+
+TEST(IterationConfig, SensibleDiscretization) {
+  const auto p = paper_like_params();
+  const auto cfg = to_iteration_config(p, /*iter_time_sec=*/0.18);
+  EXPECT_GE(cfg.full_interval, 1u);
+  EXPECT_GE(cfg.batch_size, 1u);
+  EXPECT_LE(cfg.batch_size, cfg.full_interval);
+  // For these parameters the optimum is minutes-scale FCF and small BS.
+  EXPECT_GT(cfg.full_interval, 10u);
+  EXPECT_LT(cfg.batch_size, 64u);
+}
+
+TEST(IterationConfig, RejectsBadIterTime) {
+  EXPECT_THROW(to_iteration_config(paper_like_params(), 0.0), lowdiff::Error);
+}
+
+TEST(ConfigTuner, RecommendationIsLocalOptimumOfModel) {
+  ConfigTuner tuner(paper_like_params(), 0.18);
+  const auto rec = tuner.recommend();
+  auto cost = [&](std::uint64_t fi, std::uint64_t bs) {
+    const double f = 1.0 / (static_cast<double>(fi) * 0.18);
+    const double b = static_cast<double>(bs) * 0.18;
+    return wasted_time_model(tuner.params(), f, b);
+  };
+  const double best = cost(rec.full_interval, rec.batch_size);
+  EXPECT_LE(best, cost(rec.full_interval + 1, rec.batch_size));
+  EXPECT_LE(best, cost(rec.full_interval, rec.batch_size + 1));
+  if (rec.full_interval > 1) {
+    EXPECT_LE(best, cost(rec.full_interval - 1, rec.batch_size));
+  }
+  if (rec.batch_size > 1) {
+    EXPECT_LE(best, cost(rec.full_interval, rec.batch_size - 1));
+  }
+}
+
+TEST(ConfigTuner, ObservationsShiftRecommendation) {
+  ConfigTuner tuner(paper_like_params(), 0.18);
+  const auto before = tuner.recommend();
+  // Failures became 50x more frequent: checkpoint much more often.
+  for (int i = 0; i < 30; ++i) tuner.observe_mtbf(3600.0 / 50.0);
+  const auto after = tuner.recommend();
+  EXPECT_LT(after.full_interval, before.full_interval);
+}
+
+TEST(ConfigTuner, BandwidthObservationSmoothing) {
+  ConfigTuner tuner(paper_like_params(), 0.18);
+  const double before = tuner.params().write_bw;
+  tuner.observe_write_bandwidth(4.0e9);
+  const double after = tuner.params().write_bw;
+  EXPECT_GT(after, before);
+  EXPECT_LT(after, 4.0e9);  // smoothed, not replaced
+  EXPECT_THROW(tuner.observe_write_bandwidth(0.0), lowdiff::Error);
+  EXPECT_THROW(tuner.observe_mtbf(-1.0), lowdiff::Error);
+}
+
+TEST(TableI, ModelReproducesInteriorMinimumShape) {
+  // Table I: wasted time has an interior minimum over (FCF, BS); rows with
+  // larger FCF interval have their best BS at larger values.
+  auto p = paper_like_params();
+  p.merge_diff_sec = 0.12;
+  const double iter = 0.18;
+  auto cell = [&](std::uint64_t fcf_interval, std::uint64_t bs) {
+    return wasted_time_model(p, 1.0 / (fcf_interval * iter), bs * iter);
+  };
+  // For a fixed row, the best BS is interior (not BS=1, not BS=6) for at
+  // least one of the paper's rows.
+  bool interior_found = false;
+  for (std::uint64_t fcf : {10u, 20u, 50u, 100u}) {
+    std::uint64_t best_bs = 1;
+    double best = cell(fcf, 1);
+    for (std::uint64_t bs = 2; bs <= 6; ++bs) {
+      if (cell(fcf, bs) < best) {
+        best = cell(fcf, bs);
+        best_bs = bs;
+      }
+    }
+    if (best_bs > 1 && best_bs < 6) interior_found = true;
+  }
+  EXPECT_TRUE(interior_found);
+}
+
+}  // namespace
+}  // namespace lowdiff

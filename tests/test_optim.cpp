@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/model_state.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+ModelSpec flat_spec(std::size_t n) {
+  ModelSpec spec;
+  spec.name = "flat";
+  spec.layers = {{"w", {n}}};
+  return spec;
+}
+
+TEST(Adam, MatchesReferenceFormula) {
+  const AdamConfig cfg{.lr = 0.1f, .beta1 = 0.9f, .beta2 = 0.999f, .eps = 1e-8f};
+  Adam adam(cfg);
+  ModelState state(flat_spec(1));
+  state.params()[0] = 1.0f;
+  const float g = 0.5f;
+
+  adam.step(state, std::vector<float>{g});
+
+  const float m = (1 - cfg.beta1) * g;
+  const float v = (1 - cfg.beta2) * g * g;
+  const float mhat = m / (1 - cfg.beta1);
+  const float vhat = v / (1 - cfg.beta2);
+  const float expected = 1.0f - cfg.lr * mhat / (std::sqrt(vhat) + cfg.eps);
+  EXPECT_FLOAT_EQ(state.params()[0], expected);
+  EXPECT_FLOAT_EQ(state.moment1()[0], m);
+  EXPECT_FLOAT_EQ(state.moment2()[0], v);
+  EXPECT_EQ(state.step(), 1u);
+}
+
+TEST(Adam, DeterministicAcrossRuns) {
+  Adam adam;
+  ModelState a(flat_spec(64)), b(flat_spec(64));
+  a.init_random(3);
+  b.init_random(3);
+  Xoshiro256 rng(5);
+  Tensor grad(64);
+  for (int i = 0; i < 20; ++i) {
+    ops::fill_normal(grad.span(), rng, 1.0f);
+    adam.step(a, grad.cspan());
+  }
+  Xoshiro256 rng2(5);
+  for (int i = 0; i < 20; ++i) {
+    ops::fill_normal(grad.span(), rng2, 1.0f);
+    adam.step(b, grad.cspan());
+  }
+  EXPECT_TRUE(a.bit_equal(b));
+}
+
+/// Property: slice-wise application over any partition == one dense step,
+/// bit-for-bit — the invariant LowDiff+'s layer-wise CPU update depends on.
+class AdamSlices : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdamSlices, SliceUpdatesEqualDenseUpdate) {
+  const int pieces = GetParam();
+  const std::size_t n = 97;
+  Adam adam;
+  ModelState dense(flat_spec(n)), sliced(flat_spec(n));
+  dense.init_random(11);
+  sliced.init_random(11);
+
+  Xoshiro256 rng(77);
+  Tensor grad(n);
+  for (int iter = 0; iter < 5; ++iter) {
+    ops::fill_normal(grad.span(), rng, 0.3f);
+    adam.step(dense, grad.cspan());
+
+    const std::size_t per = (n + pieces - 1) / pieces;
+    for (int p = 0; p < pieces; ++p) {
+      const std::size_t lo = p * per;
+      if (lo >= n) break;
+      const std::size_t hi = std::min(n, lo + per);
+      adam.step_slice(sliced, lo, grad.cspan().subspan(lo, hi - lo));
+    }
+    adam.finish_partial_step(sliced);
+    ASSERT_TRUE(dense.bit_equal(sliced)) << "iteration " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, AdamSlices, ::testing::Values(1, 2, 3, 7, 97));
+
+TEST(Adam, SliceOutOfRangeThrows) {
+  Adam adam;
+  ModelState state(flat_spec(10));
+  std::vector<float> grad(5, 0.0f);
+  EXPECT_THROW(adam.step_slice(state, 6, grad), Error);
+}
+
+TEST(Adam, GradientSizeMismatchThrows) {
+  Adam adam;
+  ModelState state(flat_spec(10));
+  std::vector<float> grad(9, 0.0f);
+  EXPECT_THROW(adam.step(state, grad), Error);
+}
+
+TEST(Adam, CloneKeepsConfig) {
+  Adam adam(AdamConfig{.lr = 0.42f});
+  auto copy = adam.clone();
+  EXPECT_EQ(copy->name(), "Adam");
+  auto* as_adam = dynamic_cast<Adam*>(copy.get());
+  ASSERT_NE(as_adam, nullptr);
+  EXPECT_FLOAT_EQ(as_adam->config().lr, 0.42f);
+}
+
+TEST(Sgd, PlainStep) {
+  Sgd sgd(SgdConfig{.lr = 0.5f, .momentum = 0.0f});
+  ModelState state(flat_spec(2));
+  state.params()[0] = 1.0f;
+  state.params()[1] = 2.0f;
+  sgd.step(state, std::vector<float>{1.0f, -2.0f});
+  EXPECT_FLOAT_EQ(state.params()[0], 0.5f);
+  EXPECT_FLOAT_EQ(state.params()[1], 3.0f);
+  EXPECT_EQ(state.moment1()[0], 0.0f);  // no momentum buffer touched
+  EXPECT_EQ(state.step(), 1u);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Sgd sgd(SgdConfig{.lr = 1.0f, .momentum = 0.5f});
+  ModelState state(flat_spec(1));
+  sgd.step(state, std::vector<float>{1.0f});
+  EXPECT_FLOAT_EQ(state.params()[0], -1.0f);   // buf = 1
+  sgd.step(state, std::vector<float>{1.0f});
+  EXPECT_FLOAT_EQ(state.params()[0], -2.5f);   // buf = 1.5
+  EXPECT_FLOAT_EQ(state.moment1()[0], 1.5f);
+  EXPECT_EQ(sgd.name(), "SGD-momentum");
+}
+
+TEST(Sgd, StepDeltaIsAdditiveWithoutMomentum) {
+  // Plain SGD deltas compose additively: applying g1 then g2 equals
+  // applying (g1 + g2) — the property the parallel-additive recovery path
+  // relies on.
+  Sgd sgd(SgdConfig{.lr = 0.3f, .momentum = 0.0f});
+  ModelState sequential(flat_spec(8)), merged(flat_spec(8));
+  sequential.init_random(2);
+  merged.init_random(2);
+
+  Xoshiro256 rng(6);
+  Tensor g1(8), g2(8), sum(8);
+  ops::fill_normal(g1.span(), rng, 1.0f);
+  ops::fill_normal(g2.span(), rng, 1.0f);
+  ops::add(g1.cspan(), g2.cspan(), sum.span());
+
+  sgd.step(sequential, g1.cspan());
+  sgd.step(sequential, g2.cspan());
+  sgd.step(merged, sum.cspan());
+
+  EXPECT_LT(ops::max_abs_diff(sequential.params().cspan(), merged.params().cspan()),
+            1e-6f);
+}
+
+TEST(Adam, StepsAreNotAdditive) {
+  // The same experiment with Adam must NOT commute — this is why LowDiff's
+  // recovery replays differentials in order for stateful optimizers.
+  Adam adam;
+  ModelState sequential(flat_spec(8)), merged(flat_spec(8));
+  sequential.init_random(2);
+  merged.init_random(2);
+
+  Xoshiro256 rng(6);
+  Tensor g1(8), g2(8), sum(8);
+  ops::fill_normal(g1.span(), rng, 1.0f);
+  ops::fill_normal(g2.span(), rng, 1.0f);
+  ops::add(g1.cspan(), g2.cspan(), sum.span());
+
+  adam.step(sequential, g1.cspan());
+  adam.step(sequential, g2.cspan());
+  adam.step(merged, sum.cspan());
+
+  EXPECT_GT(ops::max_abs_diff(sequential.params().cspan(), merged.params().cspan()),
+            1e-6f);
+}
+
+}  // namespace
+}  // namespace lowdiff

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "queue/reusing_queue.h"
+
+namespace lowdiff {
+namespace {
+
+TEST(ReusingQueue, FifoOrder) {
+  ReusingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.put(std::make_shared<const int>(i));
+  for (int i = 0; i < 10; ++i) {
+    auto h = q.get();
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(**h, i);
+  }
+}
+
+TEST(ReusingQueue, ZeroCopyHandleIdentity) {
+  // The queue must move the handle, not the payload — the in-process
+  // analogue of CUDA IPC sharing the same GPU memory.
+  ReusingQueue<std::vector<float>> q;
+  auto payload = std::make_shared<const std::vector<float>>(1000, 1.0f);
+  const void* address = payload->data();
+  q.put(payload);
+  auto out = q.get();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ((*out)->data(), address);
+}
+
+TEST(ReusingQueue, NullHandleRejected) {
+  ReusingQueue<int> q;
+  EXPECT_THROW(q.put(nullptr), Error);
+}
+
+TEST(ReusingQueue, BoundedPutBlocksUntilConsumed) {
+  ReusingQueue<int> q(2);
+  q.put(std::make_shared<const int>(1));
+  q.put(std::make_shared<const int>(2));
+  EXPECT_FALSE(q.try_put(std::make_shared<const int>(3)));
+
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&q, &third_accepted] {
+    q.put(std::make_shared<const int>(3));  // blocks until a slot frees
+    third_accepted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load());
+  EXPECT_EQ(**q.get(), 1);
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+  EXPECT_EQ(**q.get(), 2);
+  EXPECT_EQ(**q.get(), 3);
+}
+
+TEST(ReusingQueue, CloseDrainsThenSignalsEnd) {
+  ReusingQueue<int> q;
+  q.put(std::make_shared<const int>(7));
+  q.put(std::make_shared<const int>(8));
+  q.close();
+  EXPECT_FALSE(q.put(std::make_shared<const int>(9)));  // rejected
+  EXPECT_EQ(**q.get(), 7);
+  EXPECT_EQ(**q.get(), 8);
+  EXPECT_FALSE(q.get().has_value());  // drained -> end
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ReusingQueue, GetBlocksUntilPut) {
+  ReusingQueue<int> q;
+  std::optional<std::shared_ptr<const int>> received;
+  std::thread consumer([&q, &received] { received = q.get(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.put(std::make_shared<const int>(5));
+  consumer.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(**received, 5);
+}
+
+TEST(ReusingQueue, TryGetNonBlocking) {
+  ReusingQueue<int> q;
+  EXPECT_FALSE(q.try_get().has_value());
+  q.put(std::make_shared<const int>(1));
+  EXPECT_TRUE(q.try_get().has_value());
+}
+
+TEST(ReusingQueue, HighWatermarkAndCounters) {
+  ReusingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.put(std::make_shared<const int>(i));
+  q.get();
+  q.put(std::make_shared<const int>(9));
+  EXPECT_EQ(q.high_watermark(), 5u);
+  EXPECT_EQ(q.total_enqueued(), 6u);
+  EXPECT_EQ(q.size(), 5u);
+}
+
+TEST(ReusingQueue, ConcurrentProducerConsumerDeliversAll) {
+  ReusingQueue<int> q(16);
+  constexpr int kItems = 5000;
+  std::vector<int> received;
+  received.reserve(kItems);
+
+  std::thread consumer([&q, &received] {
+    while (auto h = q.get()) {
+      received.push_back(**h);
+    }
+  });
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) q.put(std::make_shared<const int>(i));
+    q.close();
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  // FIFO: the single consumer must see items in exact order.
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(ReusingQueue, PayloadFreedWhenConsumerDropsHandle) {
+  ReusingQueue<std::vector<float>> q;
+  std::weak_ptr<const std::vector<float>> weak;
+  {
+    auto payload = std::make_shared<const std::vector<float>>(10, 2.0f);
+    weak = payload;
+    q.put(std::move(payload));
+  }
+  EXPECT_FALSE(weak.expired());  // queue keeps it alive
+  {
+    auto h = q.get();
+    ASSERT_TRUE(h.has_value());
+  }
+  EXPECT_TRUE(weak.expired());  // "GPU memory" released after offload
+}
+
+}  // namespace
+}  // namespace lowdiff
+
+namespace lowdiff {
+namespace {
+
+TEST(ReusingQueue, CloseUnblocksWaitingProducer) {
+  ReusingQueue<int> q(1);
+  q.put(std::make_shared<const int>(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&q, &returned] {
+    const bool accepted = q.put(std::make_shared<const int>(2));
+    EXPECT_FALSE(accepted);  // released by close, not by space
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(ReusingQueue, CloseUnblocksWaitingConsumer) {
+  ReusingQueue<int> q;
+  std::atomic<bool> got_end{false};
+  std::thread consumer([&q, &got_end] {
+    got_end = !q.get().has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_end.load());
+}
+
+}  // namespace
+}  // namespace lowdiff

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "compress/dense.h"
+#include "compress/topk.h"
+#include "core/checkpoint_store.h"
+#include "core/recovery.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+#include "storage/mem_storage.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+ModelSpec spec_of(std::size_t n) {
+  ModelSpec spec;
+  spec.name = "flat";
+  spec.layers = {{"w", {n}}};
+  return spec;
+}
+
+/// Simulates `iters` training iterations with gradient reuse: every
+/// synchronized compressed gradient goes both into the optimizer (dense,
+/// after decompression) and into the store as a differential checkpoint.
+/// Returns the final training state.
+ModelState train_with_reuse(CheckpointStore& store, const ModelSpec& spec,
+                            const Optimizer& opt, const Compressor& comp,
+                            std::uint64_t full_at, std::uint64_t iters,
+                            std::uint64_t seed) {
+  ModelState state(spec);
+  state.init_random(seed);
+  Tensor grad(spec.param_count());
+  Tensor dense(spec.param_count());
+  Xoshiro256 rng(seed * 31 + 1);
+  for (std::uint64_t t = 0; t < iters; ++t) {
+    ops::fill_normal(grad.span(), rng, 0.5f);
+    const auto payload = comp.compress(grad.cspan(), t);
+    comp.decompress(payload, dense.span());
+    opt.step(state, dense.cspan());
+    if (t == full_at) {
+      store.put_full(t, state);
+    } else if (t > full_at) {
+      store.put_diff(payload);
+    }
+  }
+  return state;
+}
+
+TEST(Recovery, SerialReplayIsBitExact) {
+  const auto spec = spec_of(400);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Adam adam;
+  TopKCompressor comp(0.05);
+  const auto trained =
+      train_with_reuse(store, spec, adam, comp, /*full_at=*/10, /*iters=*/30, 7);
+
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  RecoveryReport report;
+  const auto recovered = engine.recover_serial(store, &report);
+
+  EXPECT_TRUE(trained.bit_equal(recovered));  // Finding 1, exactly
+  EXPECT_EQ(report.full_iteration, 10u);
+  EXPECT_EQ(report.diffs_replayed, 19u);
+  EXPECT_EQ(report.final_iteration, 29u);
+}
+
+TEST(Recovery, ParallelEqualsSerial) {
+  const auto spec = spec_of(300);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Adam adam;
+  TopKCompressor comp(0.1);
+  train_with_reuse(store, spec, adam, comp, 5, 40, 3);
+
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  ThreadPool pool(4);
+  RecoveryReport serial_report, parallel_report;
+  const auto serial = engine.recover_serial(store, &serial_report);
+  const auto parallel = engine.recover_parallel(store, pool, &parallel_report);
+  EXPECT_TRUE(serial.bit_equal(parallel));
+  EXPECT_EQ(serial_report.final_iteration, parallel_report.final_iteration);
+}
+
+TEST(Recovery, ParallelAdditiveEqualsSerialForPlainSgd) {
+  const auto spec = spec_of(256);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Sgd sgd(SgdConfig{.lr = 0.05f, .momentum = 0.0f});
+  TopKCompressor comp(0.1);
+  const auto trained = train_with_reuse(store, spec, sgd, comp, 3, 35, 11);
+
+  RecoveryEngine engine(spec, sgd.clone(), comp.clone());
+  ThreadPool pool(4);
+  RecoveryReport report;
+  const auto recovered =
+      engine.recover_parallel_additive(store, pool, 0.05f, &report);
+
+  // Additive merge reorders float additions, so compare numerically.
+  EXPECT_EQ(recovered.step(), trained.step());
+  EXPECT_LT(ops::max_abs_diff(recovered.params().cspan(), trained.params().cspan()),
+            1e-5f);
+  // 31 diffs -> ceil(log2(31)) = 5 pairwise merge rounds (Fig. 7).
+  EXPECT_EQ(report.diffs_replayed, 31u);
+  EXPECT_EQ(report.merge_rounds, 5u);
+}
+
+TEST(Recovery, NoDiffsRecoversFullOnly) {
+  const auto spec = spec_of(64);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  ModelState state(spec);
+  state.init_random(1);
+  state.set_step(42);
+  store.put_full(41, state);
+
+  Adam adam;
+  TopKCompressor comp(0.1);
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  RecoveryReport report;
+  const auto recovered = engine.recover_serial(store, &report);
+  EXPECT_TRUE(state.bit_equal(recovered));
+  EXPECT_EQ(report.diffs_replayed, 0u);
+}
+
+TEST(Recovery, MissingFullCheckpointThrows) {
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Adam adam;
+  TopKCompressor comp(0.1);
+  RecoveryEngine engine(spec_of(10), adam.clone(), comp.clone());
+  EXPECT_THROW(engine.recover_serial(store), Error);
+  ThreadPool pool(2);
+  EXPECT_THROW(engine.recover_parallel(store, pool), Error);
+}
+
+TEST(Recovery, BatchedDiffsReplayIdenticallyToStandalone) {
+  // The same payload stream stored as batches vs standalone diffs must
+  // recover to the same state — batching is a write optimization only.
+  const auto spec = spec_of(200);
+  Adam adam;
+  TopKCompressor comp(0.1);
+
+  auto mem_single = std::make_shared<MemStorage>();
+  CheckpointStore store_single(mem_single);
+  const auto trained =
+      train_with_reuse(store_single, spec, adam, comp, 4, 24, 9);
+
+  // Rebuild the same stream into batches of 3.
+  auto mem_batched = std::make_shared<MemStorage>();
+  CheckpointStore store_batched(mem_batched);
+  store_batched.put_full(4, store_single.read_full(4, spec));
+  const auto diff_iters = store_single.diffs_after(4);
+  BatchedGrad batch;
+  for (std::uint64_t iter : diff_iters) {
+    if (batch.members.empty()) batch.first_iteration = iter;
+    batch.members.push_back(store_single.read_diff(iter));
+    batch.last_iteration = iter;
+    if (batch.members.size() == 3) {
+      store_batched.put_batch(batch);
+      batch = BatchedGrad{};
+    }
+  }
+  if (!batch.members.empty()) store_batched.put_batch(batch);
+
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  const auto recovered = engine.recover_serial(store_batched);
+  EXPECT_TRUE(trained.bit_equal(recovered));
+}
+
+class RecoveryDiffCounts : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryDiffCounts, ParallelEqualsSerialForAnyCount) {
+  const std::uint64_t iters = GetParam();
+  const auto spec = spec_of(120);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Adam adam;
+  TopKCompressor comp(0.2);
+  train_with_reuse(store, spec, adam, comp, 0, iters, 13);
+
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  ThreadPool pool(3);
+  EXPECT_TRUE(
+      engine.recover_serial(store).bit_equal(engine.recover_parallel(store, pool)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RecoveryDiffCounts,
+                         ::testing::Values(1, 2, 3, 5, 9, 17, 33));
+
+}  // namespace
+}  // namespace lowdiff

@@ -1,0 +1,547 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/cluster.h"
+#include "sim/failure.h"
+#include "sim/run_sim.h"
+#include "sim/strategy_model.h"
+#include "sim/workload.h"
+
+namespace lowdiff::sim {
+namespace {
+
+ClusterSpec a100_cluster() {
+  ClusterSpec c;
+  c.gpu = gpus::a100();
+  return c;
+}
+
+Workload gpt2l(double rho = 0.01) {
+  return Workload::for_model("GPT2-L", gpus::a100(), rho);
+}
+
+// --- workload byte accounting -------------------------------------------------
+
+TEST(Workload, ByteSizesFollowPaperAccounting) {
+  const auto w = gpt2l(0.01);
+  EXPECT_EQ(w.full_ckpt_bytes(), 12ull * 762'000'000ull);
+  EXPECT_EQ(w.dense_grad_bytes(), 4ull * 762'000'000ull);
+  // 8 bytes per kept element (index + value).
+  EXPECT_EQ(w.sparse_grad_bytes(),
+            static_cast<std::uint64_t>(8.0 * 0.01 * 762'000'000.0));
+  // Naive DC: compressed params + RAW optimizer state (2 moments).
+  EXPECT_EQ(w.naive_diff_bytes(),
+            w.sparse_grad_bytes() + 8ull * 762'000'000ull);
+}
+
+TEST(Workload, DenseModeSelectsDenseDiff) {
+  const auto w = gpt2l(0.0);
+  EXPECT_FALSE(w.compressed());
+  EXPECT_EQ(w.lowdiff_diff_bytes(), w.dense_grad_bytes());
+}
+
+TEST(Workload, UnknownModelThrows) {
+  EXPECT_THROW(Workload::for_model("LeNet", gpus::a100(), 0.01), lowdiff::Error);
+}
+
+TEST(Workload, V100IsSlower) {
+  const auto a = Workload::for_model("BERT-B", gpus::a100(), 0.01);
+  const auto v = Workload::for_model("BERT-B", gpus::v100s(), 0.01);
+  EXPECT_GT(v.iter_compute_sec, a.iter_compute_sec * 1.5);
+}
+
+// --- per-strategy timelines -------------------------------------------------------
+
+double overhead_at_freq1(StrategyKind kind, const Workload& w) {
+  StrategyConfig cfg;
+  cfg.kind = kind;
+  cfg.ckpt_interval = 1;
+  cfg.full_interval = kind == StrategyKind::kLowDiff ? 20 : 1000000;
+  if (kind == StrategyKind::kTorchSave || kind == StrategyKind::kCheckFreq ||
+      kind == StrategyKind::kGemini) {
+    cfg.full_interval = 1;
+  }
+  StrategyTimeline t(a100_cluster(), w, cfg);
+  const auto stats = t.run(300);
+  return stats.avg_iteration_time() / t.baseline_iteration_time() - 1.0;
+}
+
+TEST(StrategyTimeline, NoCheckpointHasZeroOverhead) {
+  StrategyTimeline t(a100_cluster(), gpt2l(), {StrategyKind::kNone, 1});
+  const auto stats = t.run(100);
+  EXPECT_DOUBLE_EQ(stats.stall_time, 0.0);
+  EXPECT_NEAR(stats.avg_iteration_time(), t.baseline_iteration_time(), 1e-12);
+}
+
+TEST(StrategyTimeline, Exp1OrderingAtPerIterationFrequency) {
+  // The headline ranking of Fig. 8: LowDiff ~ W/O < Gemini < NaiveDC,
+  // CheckFreq, TorchSave.
+  const auto w = gpt2l();
+  const double lowdiff = overhead_at_freq1(StrategyKind::kLowDiff, w);
+  const double gemini = overhead_at_freq1(StrategyKind::kGemini, w);
+  const double naive = overhead_at_freq1(StrategyKind::kNaiveDC, w);
+  const double checkfreq = overhead_at_freq1(StrategyKind::kCheckFreq, w);
+  const double torch = overhead_at_freq1(StrategyKind::kTorchSave, w);
+
+  EXPECT_LT(lowdiff, 0.05);      // "less than 3.1%" headline (some slack)
+  EXPECT_GT(gemini, lowdiff * 5);
+  EXPECT_GT(naive, gemini);
+  EXPECT_GT(checkfreq, gemini);
+  EXPECT_GT(torch, checkfreq * 0.8);
+  EXPECT_GT(checkfreq, 5.0);     // CheckFreq at freq 1 is catastrophic
+}
+
+TEST(StrategyTimeline, LowDiffOverheadWithinPaperBound) {
+  // Exp. 1: across all models, LowDiff adds < ~3.1% at per-iteration
+  // frequency with tuned FCF.
+  for (const char* model : {"ResNet-50", "VGG-16", "BERT-L", "GPT2-S", "GPT2-L"}) {
+    const auto w = Workload::for_model(model, gpus::a100(), 0.01);
+    StrategyConfig cfg;
+    cfg.kind = StrategyKind::kLowDiff;
+    cfg.ckpt_interval = 1;
+    cfg.full_interval = 50;
+    cfg.batch_size = 2;
+    StrategyTimeline t(a100_cluster(), w, cfg);
+    const auto stats = t.run(500);
+    const double overhead =
+        stats.avg_iteration_time() / t.baseline_iteration_time() - 1.0;
+    EXPECT_LT(overhead, 0.05) << model;
+    EXPECT_GT(overhead, 0.0) << model;
+  }
+}
+
+TEST(StrategyTimeline, OverheadGrowsWithFrequency) {
+  // Fig. 1's monotonicity: higher DC frequency, slower training.
+  const auto w = gpt2l();
+  double prev = 1e9;
+  for (std::uint64_t interval : {1, 2, 4, 8}) {
+    StrategyConfig cfg;
+    cfg.kind = StrategyKind::kNaiveDC;
+    cfg.ckpt_interval = interval;
+    cfg.full_interval = 1000000;
+    StrategyTimeline t(a100_cluster(), w, cfg);
+    const auto stats = t.run(400);
+    const double overhead =
+        stats.avg_iteration_time() / t.baseline_iteration_time() - 1.0;
+    EXPECT_LT(overhead, prev);
+    prev = overhead;
+  }
+}
+
+TEST(StrategyTimeline, LowDiffPlusOverheadMatchesExp2Band) {
+  // Exp. 2: 8.2% – 10.1% over W/O CKPT in the dense regime (some slack).
+  for (const char* model : {"BERT-L", "GPT2-L"}) {
+    const auto w = Workload::for_model(model, gpus::a100(), 0.0);
+    StrategyConfig cfg;
+    cfg.kind = StrategyKind::kLowDiffPlus;
+    cfg.ckpt_interval = 1;
+    StrategyTimeline t(a100_cluster(), w, cfg);
+    const auto stats = t.run(300);
+    const double overhead =
+        stats.avg_iteration_time() / t.baseline_iteration_time() - 1.0;
+    EXPECT_GT(overhead, 0.03) << model;
+    EXPECT_LT(overhead, 0.16) << model;
+  }
+}
+
+TEST(StrategyTimeline, DeviceMemoryAblation) {
+  // Exp. 6(b): without CPU-offloaded batching the device retains the whole
+  // batch buffer; with offload it retains only in-flight payloads.
+  const auto w = gpt2l();
+  StrategyConfig with;
+  with.kind = StrategyKind::kLowDiff;
+  with.batch_size = 16;
+  with.full_interval = 1000;
+  with.offload_batching_to_cpu = true;
+  StrategyConfig without = with;
+  without.offload_batching_to_cpu = false;
+
+  StrategyTimeline t1(a100_cluster(), w, with);
+  StrategyTimeline t2(a100_cluster(), w, without);
+  const double frac_with = t1.run(200).device_mem_overhead_frac;
+  const double frac_without = t2.run(200).device_mem_overhead_frac;
+  EXPECT_GT(frac_without, frac_with * 3);
+  EXPECT_GT(frac_without, 0.05);   // ~10% of state for GPT2-L at BS=16
+  EXPECT_LT(frac_with, 0.05);
+}
+
+TEST(StrategyTimeline, MaxFrequencySearchMatchesExp4Shape) {
+  const auto cluster = a100_cluster();
+  struct Row {
+    const char* model;
+  };
+  for (const char* model : {"ResNet-101", "GPT2-S", "BERT-L", "GPT2-L"}) {
+    const auto w = Workload::for_model(model, gpus::a100(), 0.01);
+    StrategyConfig lowdiff;
+    lowdiff.kind = StrategyKind::kLowDiff;
+    lowdiff.full_interval = 100;
+    lowdiff.batch_size = 2;
+    EXPECT_EQ(max_checkpoint_frequency(cluster, w, lowdiff), 1u) << model;
+
+    StrategyConfig checkfreq;
+    checkfreq.kind = StrategyKind::kCheckFreq;
+    const auto cf = max_checkpoint_frequency(cluster, w, checkfreq);
+    EXPECT_GE(cf, 4u) << model;  // CheckFreq needs long intervals
+
+    StrategyConfig gemini;
+    gemini.kind = StrategyKind::kGemini;
+    const auto gm = max_checkpoint_frequency(cluster, w, gemini);
+    EXPECT_LE(gm, cf) << model;  // Gemini beats CheckFreq
+
+    StrategyConfig naive;
+    naive.kind = StrategyKind::kNaiveDC;
+    naive.full_interval = 1000000;
+    const auto nd = max_checkpoint_frequency(cluster, w, naive);
+    EXPECT_GT(nd, 1u) << model;  // NaiveDC cannot do per-iteration
+  }
+}
+
+TEST(StrategyTimeline, GeminiIntervalGrowsWithModelSize) {
+  const auto cluster = a100_cluster();
+  StrategyConfig gemini;
+  gemini.kind = StrategyKind::kGemini;
+  const auto small = max_checkpoint_frequency(
+      cluster, Workload::for_model("ResNet-101", gpus::a100(), 0.01), gemini);
+  const auto large = max_checkpoint_frequency(
+      cluster, Workload::for_model("GPT2-L", gpus::a100(), 0.01), gemini);
+  EXPECT_LE(small, 2u);   // (near-)per-iteration on ResNet-101 (paper: 1)
+  EXPECT_GT(large, 2u);   // interval grows for GPT2-L (paper: 4)
+  EXPECT_LE(large, 8u);
+  EXPECT_GT(large, small);
+}
+
+TEST(StrategyTimeline, Exp8CompressionRatioCrossover) {
+  // GPT2-S: per-iteration for rho in [0.001, 0.1]; GPT2-L: per-iteration
+  // until ~0.075, then the interval grows.
+  const auto cluster = a100_cluster();
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kLowDiff;
+  cfg.full_interval = 100;
+  cfg.batch_size = 2;
+  for (double rho : {0.001, 0.01, 0.05, 0.1}) {
+    const auto ws = Workload::for_model("GPT2-S", gpus::a100(), rho);
+    EXPECT_EQ(max_checkpoint_frequency(cluster, ws, cfg), 1u) << "rho " << rho;
+  }
+  const auto wl_small_rho = Workload::for_model("GPT2-L", gpus::a100(), 0.01);
+  EXPECT_EQ(max_checkpoint_frequency(cluster, wl_small_rho, cfg), 1u);
+  const auto wl_big_rho = Workload::for_model("GPT2-L", gpus::a100(), 0.1);
+  const auto interval = max_checkpoint_frequency(cluster, wl_big_rho, cfg);
+  EXPECT_GE(interval, 2u);
+  EXPECT_LE(interval, 3u);
+}
+
+TEST(StrategyTimeline, LowDiffPlusPersistIntervalTracksModelSize) {
+  // Exp. 4 LowDiff+(P): per-iteration persistence for ResNet-101, a few
+  // iterations for GPT2-L (paper: 3).
+  const auto cluster = a100_cluster();
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kLowDiffPlus;
+  StrategyTimeline small(cluster, Workload::for_model("ResNet-101", gpus::a100(), 0.0),
+                         cfg);
+  StrategyTimeline large(cluster, Workload::for_model("GPT2-L", gpus::a100(), 0.0),
+                         cfg);
+  EXPECT_EQ(small.persist_interval(), 1u);
+  EXPECT_GE(large.persist_interval(), 2u);
+  EXPECT_LE(large.persist_interval(), 5u);
+}
+
+/// Property sweep: LowDiff sustains per-iteration checkpointing with small
+/// overhead on every Table II(b) workload; every baseline pays more.
+class AllModels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllModels, LowDiffStaysCheapBaselinesDoNot) {
+  const auto w = Workload::for_model(GetParam(), gpus::a100(), 0.01);
+  const ClusterSpec cluster = a100_cluster();
+
+  StrategyConfig lowdiff{StrategyKind::kLowDiff, 1, 50, 2};
+  StrategyTimeline tl(cluster, w, lowdiff);
+  const double base = tl.baseline_iteration_time();
+  const double lowdiff_overhead = tl.run(400).avg_iteration_time() / base - 1.0;
+  EXPECT_GT(lowdiff_overhead, 0.0);
+  EXPECT_LT(lowdiff_overhead, 0.05);
+
+  StrategyTimeline cf(cluster, w, {StrategyKind::kCheckFreq, 1, 1});
+  EXPECT_GT(cf.run(200).avg_iteration_time() / base - 1.0,
+            lowdiff_overhead * 10);
+}
+
+TEST_P(AllModels, ZooAndWorkloadParamsAgree) {
+  const auto w = Workload::for_model(GetParam(), gpus::a100(), 0.01);
+  EXPECT_GT(w.params, 10'000'000u);
+  EXPECT_GT(w.iter_compute_sec, 0.01);
+  EXPECT_LT(w.iter_compute_sec, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2b, AllModels,
+                         ::testing::Values("ResNet-50", "ResNet-101", "VGG-16",
+                                           "VGG-19", "BERT-B", "BERT-L",
+                                           "GPT2-S", "GPT2-L"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(StrategyTimeline, ZeroCopyAblationAddsStall) {
+  const auto w = gpt2l();
+  StrategyConfig zc{StrategyKind::kLowDiff, 1, 1000, 2};
+  StrategyConfig copy = zc;
+  copy.zero_copy_queue = false;
+  StrategyTimeline a(a100_cluster(), w, zc);
+  StrategyTimeline b(a100_cluster(), w, copy);
+  EXPECT_LT(a.run(100).stall_time, b.run(100).stall_time);
+}
+
+TEST(FailureRun, EffectiveRatioMonotonicInMtbf) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+  StrategyConfig cfg{StrategyKind::kLowDiff, 1, 20, 2};
+  double prev = 0.0;
+  for (double mtbf_h : {0.1, 0.25, 0.5, 1.0, 4.0}) {
+    FailureRunConfig run;
+    run.train_work_sec = 4 * 3600.0;
+    run.mtbf_sec = mtbf_h * 3600.0;
+    run.seed = 3;
+    const double ratio =
+        run_with_failures(cluster, w, cfg, run).effective_ratio;
+    EXPECT_GE(ratio, prev - 0.01) << "mtbf " << mtbf_h;  // small seed noise ok
+    prev = ratio;
+  }
+}
+
+// --- recovery models ----------------------------------------------------------------
+
+TEST(RecoveryModel, ParallelBeatsSerialBeatsBaselineRedo) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+
+  StrategyConfig baseline;
+  baseline.kind = StrategyKind::kTorchSave;
+  baseline.ckpt_interval = 10;
+  StrategyTimeline tb(cluster, w, baseline);
+
+  StrategyConfig naive;
+  naive.kind = StrategyKind::kNaiveDC;
+  naive.ckpt_interval = 1;
+  naive.full_interval = 10;
+  StrategyTimeline tn(cluster, w, naive);
+
+  StrategyConfig lowdiff;
+  lowdiff.kind = StrategyKind::kLowDiff;
+  lowdiff.ckpt_interval = 1;
+  lowdiff.full_interval = 10;
+  lowdiff.batch_size = 2;
+  StrategyTimeline tl(cluster, w, lowdiff);
+
+  StrategyConfig plus;
+  plus.kind = StrategyKind::kLowDiffPlus;
+  StrategyTimeline tp(cluster, w, plus);
+
+  const double rb = tb.recovery_time();
+  const double rn = tn.recovery_time();
+  const double rl = tl.recovery_time();
+  const double rp = tp.recovery_time();
+
+  EXPECT_LT(rl, rn);  // parallel recovery beats serial NaiveDC
+  EXPECT_LT(rl, rb);  // and the torch.save baseline
+  EXPECT_LT(rp, rl);  // LowDiff+ software recovery is fastest
+  EXPECT_GT(rb / rp, 5.0);  // Exp. 5: ~9x-57x — at FCF=10 expect >5x
+}
+
+TEST(RecoveryModel, BaselineRecoveryGrowsWithInterval) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+  double prev = 0.0;
+  for (std::uint64_t interval : {5, 10, 20, 50}) {
+    StrategyConfig cfg;
+    cfg.kind = StrategyKind::kTorchSave;
+    cfg.ckpt_interval = interval;
+    StrategyTimeline t(cluster, w, cfg);
+    const double r = t.recovery_time();
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+// --- failure model -------------------------------------------------------------------
+
+TEST(FailureModel, DeterministicForSeed) {
+  FailureModel a(1000.0, 7), b(1000.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto ea = a.next();
+    const auto eb = b.next();
+    EXPECT_EQ(ea.time, eb.time);
+    EXPECT_EQ(ea.type, eb.type);
+  }
+}
+
+TEST(FailureModel, MeanApproximatesMtbf) {
+  FailureModel fm(500.0, 3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += fm.next().time;
+  EXPECT_NEAR(sum / n, 500.0, 15.0);
+}
+
+TEST(FailureModel, SoftwareFractionRespected) {
+  FailureModel fm(100.0, 11, 0.8);
+  int software = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (fm.next().type == FailureType::kSoftware) ++software;
+  }
+  EXPECT_NEAR(static_cast<double>(software) / n, 0.8, 0.02);
+}
+
+// --- failure-injected runs -------------------------------------------------------------
+
+FailureRunConfig quick_run(double mtbf) {
+  FailureRunConfig run;
+  run.train_work_sec = 4 * 3600.0;
+  run.mtbf_sec = mtbf;
+  run.seed = 5;
+  run.restart_overhead_sec = 15.0;
+  return run;
+}
+
+TEST(FailureRun, LowerMtbfMeansMoreWaste) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kLowDiff;
+  cfg.full_interval = 20;
+  cfg.batch_size = 2;
+  const auto a = run_with_failures(cluster, w, cfg, quick_run(0.5 * 3600));
+  const auto b = run_with_failures(cluster, w, cfg, quick_run(2.0 * 3600));
+  EXPECT_GT(a.failures, b.failures);
+  EXPECT_GT(a.wasted_time, b.wasted_time);
+  EXPECT_LT(a.effective_ratio, b.effective_ratio);
+}
+
+TEST(FailureRun, Exp3StrategyOrdering) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+  const auto run = quick_run(1.0 * 3600);
+
+  StrategyConfig lowdiff{StrategyKind::kLowDiff, 1, 20, 2};
+  StrategyConfig gemini{StrategyKind::kGemini, 1, 1};
+  StrategyConfig checkfreq{StrategyKind::kCheckFreq, 10, 10};
+  StrategyConfig naive{StrategyKind::kNaiveDC, 1, 20};
+
+  const double wl = run_with_failures(cluster, w, lowdiff, run).wasted_time;
+  const double wg = run_with_failures(cluster, w, gemini, run).wasted_time;
+  const double wc = run_with_failures(cluster, w, checkfreq, run).wasted_time;
+  const double wn = run_with_failures(cluster, w, naive, run).wasted_time;
+
+  EXPECT_LT(wl, wg);
+  EXPECT_LT(wl, wc);
+  EXPECT_LT(wl, wn);
+}
+
+TEST(FailureRun, EffectiveRatioDegradesGracefullyForLowDiff) {
+  // Exp. 9 shape: at MTBF 0.3h LowDiff keeps ~90%+ effective ratio while
+  // CheckFreq drops well below it.
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("GPT2-S", gpus::v100s(), 0.01);
+  const auto run = quick_run(0.3 * 3600);
+
+  StrategyConfig lowdiff{StrategyKind::kLowDiff, 1, 20, 2};
+  StrategyConfig checkfreq{StrategyKind::kCheckFreq, 10, 10};
+  const auto rl = run_with_failures(cluster, w, lowdiff, run);
+  const auto rc = run_with_failures(cluster, w, checkfreq, run);
+  EXPECT_GT(rl.effective_ratio, 0.85);
+  EXPECT_GT(rl.effective_ratio, rc.effective_ratio);
+}
+
+TEST(FailureRun, DeterministicForSeed) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("BERT-B", gpus::a100(), 0.01);
+  StrategyConfig cfg{StrategyKind::kLowDiff, 1, 20, 2};
+  const auto a = run_with_failures(cluster, w, cfg, quick_run(3600));
+  const auto b = run_with_failures(cluster, w, cfg, quick_run(3600));
+  EXPECT_EQ(a.wall_time, b.wall_time);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(FailureRun, RejectsBadConfig) {
+  const auto cluster = a100_cluster();
+  const auto w = Workload::for_model("BERT-B", gpus::a100(), 0.01);
+  StrategyConfig cfg;
+  FailureRunConfig run;
+  run.train_work_sec = 0.0;
+  EXPECT_THROW(run_with_failures(cluster, w, cfg, run), lowdiff::Error);
+}
+
+}  // namespace
+}  // namespace lowdiff::sim
+
+namespace lowdiff::sim {
+namespace {
+
+TEST(StrategyTimeline, ExplicitPersistIntervalRespected) {
+  const ClusterSpec cluster;
+  const auto w = Workload::for_model("GPT2-L", gpus::a100(), 0.0);
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kLowDiffPlus;
+  cfg.persist_interval = 7;
+  StrategyTimeline t(cluster, w, cfg);
+  EXPECT_EQ(t.persist_interval(), 7u);
+  const auto stats = t.run(70);
+  EXPECT_EQ(stats.full_ckpts, 10u);  // one persist per 7 iterations
+}
+
+TEST(StrategyTimeline, PipelineParallelAddsBubbleAndShrinksSync) {
+  const ClusterSpec cluster;
+  auto flat = Workload::for_model("VGG-16", gpus::a100(), 0.01);
+  auto pp = flat;
+  pp.pipeline_stages = 4;
+  StrategyTimeline tf(cluster, flat, {StrategyKind::kNone, 1});
+  StrategyTimeline tp(cluster, pp, {StrategyKind::kNone, 1});
+  const auto sf = tf.run(10);
+  const auto sp = tp.run(10);
+  EXPECT_GT(sp.compute_time, sf.compute_time);  // pipeline bubble
+  EXPECT_LT(sp.sync_time, sf.sync_time);        // per-stage payloads
+}
+
+}  // namespace
+}  // namespace lowdiff::sim
+
+namespace lowdiff::sim {
+namespace {
+
+TEST(PCcheck, SitsBetweenCheckFreqAndLowDiff) {
+  // PCcheck's PMEM path supports much higher frequency than SSD-bound
+  // CheckFreq (paper: ~every 10 iterations), but its full-state snapshots
+  // still cannot match LowDiff's per-iteration differentials.
+  const ClusterSpec cluster;
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+
+  StrategyConfig pccheck;
+  pccheck.kind = StrategyKind::kPCcheck;
+  const auto f_pc = max_checkpoint_frequency(cluster, w, pccheck);
+
+  StrategyConfig checkfreq;
+  checkfreq.kind = StrategyKind::kCheckFreq;
+  const auto f_cf = max_checkpoint_frequency(cluster, w, checkfreq);
+
+  StrategyConfig lowdiff{StrategyKind::kLowDiff, 1, 100, 2};
+  const auto f_ld = max_checkpoint_frequency(cluster, w, lowdiff);
+
+  EXPECT_LT(f_pc, f_cf);  // PMEM beats SSD-bound CheckFreq
+  EXPECT_GT(f_pc, f_ld);  // but full-state snapshots lose to reuse
+  EXPECT_GE(f_pc, 4u);    // paper: ~every 10 iterations
+  EXPECT_LE(f_pc, 16u);
+}
+
+TEST(PCcheck, RecoveryFasterThanSsdBaseline) {
+  const ClusterSpec cluster;
+  const auto w = Workload::for_model("GPT2-S", gpus::a100(), 0.01);
+  StrategyTimeline pc(cluster, w, {StrategyKind::kPCcheck, 10, 10});
+  StrategyTimeline torch(cluster, w, {StrategyKind::kTorchSave, 10, 10});
+  EXPECT_LT(pc.load_and_replay_time(0), torch.load_and_replay_time(0));
+}
+
+}  // namespace
+}  // namespace lowdiff::sim

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "compress/topk.h"
+#include "model/model_state.h"
+#include "storage/async_writer.h"
+#include "storage/bandwidth.h"
+#include "storage/file_storage.h"
+#include "storage/mem_storage.h"
+#include "storage/serializer.h"
+#include "storage/throttled.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+class BackendSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "mem") {
+      backend_ = std::make_shared<MemStorage>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("lowdiff_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      std::filesystem::remove_all(dir_);
+      backend_ = std::make_shared<FileStorage>(dir_);
+    }
+  }
+  void TearDown() override {
+    backend_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::shared_ptr<StorageBackend> backend_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(BackendSuite, WriteReadRoundTrip) {
+  backend_->write("a/key1", bytes_of("hello"));
+  auto back = backend_->read("a/key1");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes_of("hello"));
+}
+
+TEST_P(BackendSuite, OverwriteReplaces) {
+  backend_->write("k", bytes_of("one"));
+  backend_->write("k", bytes_of("twotwo"));
+  EXPECT_EQ(*backend_->read("k"), bytes_of("twotwo"));
+}
+
+TEST_P(BackendSuite, MissingKeyIsNullopt) {
+  EXPECT_FALSE(backend_->read("missing").has_value());
+  EXPECT_FALSE(backend_->exists("missing"));
+}
+
+TEST_P(BackendSuite, RemoveDeletes) {
+  backend_->write("k", bytes_of("x"));
+  EXPECT_TRUE(backend_->exists("k"));
+  backend_->remove("k");
+  EXPECT_FALSE(backend_->exists("k"));
+}
+
+TEST_P(BackendSuite, ListIsSorted) {
+  backend_->write("b/2", bytes_of("x"));
+  backend_->write("a/1", bytes_of("y"));
+  backend_->write("c/3", bytes_of("z"));
+  const auto keys = backend_->list();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(BackendSuite, StatsAccumulate) {
+  backend_->write("k", bytes_of("12345"));
+  backend_->read("k");
+  const auto stats = backend_->stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.bytes_written, 5u);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.bytes_read, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendSuite, ::testing::Values("mem", "file"),
+                         [](const auto& info) { return info.param; });
+
+TEST(MemStorage, ResidentBytesAndClear) {
+  MemStorage mem;
+  mem.write("a", bytes_of("1234"));
+  mem.write("b", bytes_of("56"));
+  EXPECT_EQ(mem.resident_bytes(), 6u);
+  mem.clear();  // hardware failure: CPU memory lost
+  EXPECT_EQ(mem.resident_bytes(), 0u);
+  EXPECT_FALSE(mem.exists("a"));
+}
+
+TEST(FileStorage, SanitizesHostileKeys) {
+  const auto dir = std::filesystem::temp_directory_path() / "lowdiff_sanitize";
+  std::filesystem::remove_all(dir);
+  FileStorage fs(dir);
+  EXPECT_THROW(fs.write("../escape", bytes_of("x")), Error);
+  fs.write("weird key!@#", bytes_of("ok"));
+  EXPECT_TRUE(fs.read("weird key!@#").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// --- serializer ---------------------------------------------------------------
+
+ModelSpec small_spec() {
+  ModelSpec spec;
+  spec.name = "s";
+  spec.layers = {{"w", {16, 4}}, {"b", {16}}};
+  return spec;
+}
+
+TEST(Serializer, ModelStateRoundTripBitExact) {
+  ModelState state(small_spec());
+  state.init_random(5);
+  state.set_step(321);
+  const auto bytes = serialize_model_state(state);
+  const auto back = deserialize_model_state(bytes, small_spec());
+  EXPECT_TRUE(state.bit_equal(back));
+}
+
+TEST(Serializer, ModelStateSpecMismatchRejected) {
+  ModelState state(small_spec());
+  const auto bytes = serialize_model_state(state);
+  ModelSpec other;
+  other.layers = {{"w", {8, 4}}};
+  EXPECT_THROW(deserialize_model_state(bytes, other), Error);
+}
+
+TEST(Serializer, CrcDetectsEveryCorruptedRegion) {
+  ModelState state(small_spec());
+  state.init_random(9);
+  auto bytes = serialize_model_state(state);
+  // Corrupt one byte in several positions across the payload.
+  for (std::size_t pos : {std::size_t{25}, bytes.size() / 2, bytes.size() - 1}) {
+    auto corrupt = bytes;
+    corrupt[pos] ^= std::byte{0x40};
+    EXPECT_THROW(deserialize_model_state(corrupt, small_spec()), Error)
+        << "corruption at byte " << pos << " was not detected";
+  }
+}
+
+TEST(Serializer, BadMagicAndTruncationRejected) {
+  ModelState state(small_spec());
+  auto bytes = serialize_model_state(state);
+  auto bad_magic = bytes;
+  bad_magic[0] = std::byte{'X'};
+  EXPECT_THROW(unframe(bad_magic), Error);
+  EXPECT_THROW(unframe(std::span<const std::byte>(bytes.data(), 10)), Error);
+  EXPECT_THROW(unframe(std::span<const std::byte>(bytes.data(), bytes.size() - 1)),
+               Error);
+}
+
+TEST(Serializer, TypeTagsEnforced) {
+  ModelState state(small_spec());
+  const auto full = serialize_model_state(state);
+  EXPECT_THROW(deserialize_diff(full), Error);
+  EXPECT_THROW(deserialize_batch(full), Error);
+
+  Tensor g(64);
+  Xoshiro256 rng(1);
+  ops::fill_normal(g.span(), rng, 1.0f);
+  const auto diff = serialize_diff(TopKCompressor(0.1).compress(g.cspan(), 3));
+  EXPECT_THROW(deserialize_model_state(diff, small_spec()), Error);
+  const auto back = deserialize_diff(diff);
+  EXPECT_EQ(back.iteration, 3u);
+}
+
+TEST(Serializer, BatchRoundTrip) {
+  TopKCompressor comp(0.2);
+  Tensor g(50);
+  Xoshiro256 rng(2);
+  BatchedGrad batch;
+  batch.first_iteration = 4;
+  batch.last_iteration = 5;
+  for (std::uint64_t i = 4; i <= 5; ++i) {
+    ops::fill_normal(g.span(), rng, 1.0f);
+    batch.members.push_back(comp.compress(g.cspan(), i));
+  }
+  const auto back = deserialize_batch(serialize_batch(batch));
+  EXPECT_EQ(back.members.size(), 2u);
+  EXPECT_EQ(back.members[1], batch.members[1]);
+}
+
+// --- throttling -----------------------------------------------------------------
+
+TEST(Bandwidth, TransferTimeFormula) {
+  LinkSpec link{2.0e9, 1e-3};
+  EXPECT_DOUBLE_EQ(link.transfer_time(2'000'000'000ull), 1.0 + 1e-3);
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 1e-3);
+}
+
+TEST(Throttler, ModeledTimeAccumulates) {
+  Throttler throttler({1.0e9, 0.0}, /*time_scale=*/1e-9);  // ~no real sleep
+  throttler.acquire(500'000'000ull);
+  throttler.acquire(250'000'000ull);
+  EXPECT_NEAR(throttler.busy_time(), 0.75, 1e-9);
+  EXPECT_EQ(throttler.total_bytes(), 750'000'000ull);
+}
+
+TEST(Throttler, ActuallyDelaysAtScale) {
+  Throttler throttler({1.0e6, 0.0}, /*time_scale=*/1.0);  // 1 MB/s
+  Stopwatch sw;
+  throttler.acquire(30'000);  // 30 ms modeled
+  EXPECT_GE(sw.elapsed_sec(), 0.025);
+}
+
+TEST(Throttler, SerializesConcurrentTransfers) {
+  // Two concurrent 25 ms transfers over one link must take ~50 ms total.
+  Throttler throttler({1.0e6, 0.0}, 1.0);
+  Stopwatch sw;
+  std::thread a([&throttler] { throttler.acquire(25'000); });
+  std::thread b([&throttler] { throttler.acquire(25'000); });
+  a.join();
+  b.join();
+  EXPECT_GE(sw.elapsed_sec(), 0.045);
+}
+
+TEST(ThrottledStorage, DelegatesAndThrottles) {
+  auto mem = std::make_shared<MemStorage>();
+  ThrottledStorage throttled(mem, {1.0e9, 0.0}, /*time_scale=*/1e-9);
+  throttled.write("k", bytes_of("data"));
+  EXPECT_TRUE(mem->exists("k"));
+  EXPECT_EQ(*throttled.read("k"), bytes_of("data"));
+  EXPECT_GT(throttled.busy_time(), 0.0);
+  throttled.remove("k");
+  EXPECT_FALSE(throttled.exists("k"));
+}
+
+// --- async writer ------------------------------------------------------------------
+
+TEST(AsyncWriter, WritesEverythingOnFlush) {
+  auto mem = std::make_shared<MemStorage>();
+  AsyncWriter writer(mem);
+  for (int i = 0; i < 50; ++i) {
+    writer.submit("key" + std::to_string(i), bytes_of(std::to_string(i)));
+  }
+  writer.flush();
+  EXPECT_EQ(writer.completed_jobs(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(*mem->read("key" + std::to_string(i)), bytes_of(std::to_string(i)));
+  }
+}
+
+TEST(AsyncWriter, OnDoneCallbackRuns) {
+  auto mem = std::make_shared<MemStorage>();
+  AsyncWriter writer(mem);
+  std::atomic<int> done{0};
+  writer.submit("k", bytes_of("v"), [&done] { ++done; });
+  writer.flush();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(AsyncWriter, BoundedQueueTrySubmit) {
+  auto mem = std::make_shared<MemStorage>();
+  auto throttled = std::make_shared<ThrottledStorage>(mem, LinkSpec{1.0e6, 0.0}, 1.0);
+  AsyncWriter writer(throttled, /*max_pending=*/1);
+  // First job occupies the writer (slow link); the queue holds one more.
+  ASSERT_TRUE(writer.try_submit("a", std::vector<std::byte>(20'000)));
+  bool saturated = false;
+  for (int i = 0; i < 20 && !saturated; ++i) {
+    saturated = !writer.try_submit("b" + std::to_string(i),
+                                   std::vector<std::byte>(20'000));
+  }
+  EXPECT_TRUE(saturated);
+  writer.flush();
+}
+
+TEST(AsyncWriter, ShutdownDrains) {
+  auto mem = std::make_shared<MemStorage>();
+  {
+    AsyncWriter writer(mem);
+    for (int i = 0; i < 10; ++i) {
+      writer.submit("k" + std::to_string(i), bytes_of("x"));
+    }
+  }  // destructor drains
+  EXPECT_EQ(mem->list().size(), 10u);
+}
+
+TEST(AsyncWriter, RejectsAfterShutdown) {
+  auto mem = std::make_shared<MemStorage>();
+  AsyncWriter writer(mem);
+  writer.shutdown();
+  EXPECT_FALSE(writer.submit("k", bytes_of("x")));
+}
+
+}  // namespace
+}  // namespace lowdiff
+
+namespace lowdiff {
+namespace {
+
+/// Backend that fails every write — exercises the async writer's error path.
+class FailingStorage final : public StorageBackend {
+ public:
+  void write(const std::string&, std::span<const std::byte>) override {
+    throw Error("disk on fire", std::source_location::current());
+  }
+  std::optional<std::vector<std::byte>> read(const std::string&) const override {
+    return std::nullopt;
+  }
+  bool exists(const std::string&) const override { return false; }
+  void remove(const std::string&) override {}
+  std::vector<std::string> list() const override { return {}; }
+  StorageStats stats() const override { return {}; }
+};
+
+TEST(AsyncWriter, SurvivesBackendFailures) {
+  auto failing = std::make_shared<FailingStorage>();
+  AsyncWriter writer(failing);
+  set_log_level(LogLevel::kOff);  // silence the expected error lines
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(writer.submit("k" + std::to_string(i), std::vector<std::byte>(8)));
+  }
+  writer.flush();  // must not hang or crash
+  EXPECT_EQ(writer.completed_jobs(), 5u);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(FileStorage, NestedKeysAndRemoveMissing) {
+  const auto dir = std::filesystem::temp_directory_path() / "lowdiff_nested";
+  std::filesystem::remove_all(dir);
+  FileStorage fs(dir);
+  fs.write("a/b/c/deep", std::vector<std::byte>(3));
+  EXPECT_EQ(fs.list(), std::vector<std::string>{"a/b/c/deep"});
+  EXPECT_NO_THROW(fs.remove("not/there"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serializer, EmptyKeyRejectedByFileStorage) {
+  const auto dir = std::filesystem::temp_directory_path() / "lowdiff_empty";
+  std::filesystem::remove_all(dir);
+  FileStorage fs(dir);
+  EXPECT_THROW(fs.write("", std::vector<std::byte>(1)), Error);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lowdiff

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace lowdiff {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(128);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapedConstruction) {
+  Tensor t({4, 5, 6});
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(shape_string(t), "[4, 5, 6]");
+}
+
+TEST(Tensor, FromValuesAndAt) {
+  auto t = Tensor::from_values({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.at(2), 3.0f);
+  EXPECT_THROW(t.at(3), Error);
+}
+
+TEST(Tensor, BytesViewMatchesSize) {
+  Tensor t(10);
+  EXPECT_EQ(t.bytes().size(), 40u);
+  EXPECT_EQ(t.byte_size(), 40u);
+}
+
+TEST(Ops, Axpy) {
+  auto x = Tensor::from_values({1, 2, 3});
+  auto y = Tensor::from_values({10, 20, 30});
+  ops::axpy(2.0f, x.cspan(), y.span());
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[1], 24.0f);
+  EXPECT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, AxpySizeMismatchThrows) {
+  Tensor x(3), y(4);
+  EXPECT_THROW(ops::axpy(1.0f, x.cspan(), y.span()), Error);
+}
+
+TEST(Ops, AddSub) {
+  auto a = Tensor::from_values({5, 7});
+  auto b = Tensor::from_values({2, 3});
+  Tensor out(2);
+  ops::add(a.cspan(), b.cspan(), out.span());
+  EXPECT_EQ(out[0], 7.0f);
+  EXPECT_EQ(out[1], 10.0f);
+  ops::sub(a.cspan(), b.cspan(), out.span());
+  EXPECT_EQ(out[0], 3.0f);
+  EXPECT_EQ(out[1], 4.0f);
+}
+
+TEST(Ops, DotAndNorm) {
+  auto a = Tensor::from_values({1, 2, 3});
+  auto b = Tensor::from_values({4, 5, 6});
+  EXPECT_DOUBLE_EQ(ops::dot(a.cspan(), b.cspan()), 32.0);
+  EXPECT_DOUBLE_EQ(ops::squared_norm(a.cspan()), 14.0);
+}
+
+TEST(Ops, MaxAbs) {
+  auto a = Tensor::from_values({-5, 2, 3});
+  EXPECT_EQ(ops::max_abs(a.cspan()), 5.0f);
+  Tensor empty;
+  EXPECT_EQ(ops::max_abs(empty.cspan()), 0.0f);
+}
+
+TEST(Ops, ScaleAndCopy) {
+  auto a = Tensor::from_values({1, -2, 4});
+  ops::scale(a.span(), -0.5f);
+  EXPECT_EQ(a[0], -0.5f);
+  EXPECT_EQ(a[1], 1.0f);
+  Tensor b(3);
+  ops::copy(a.cspan(), b.span());
+  EXPECT_TRUE(ops::bit_equal(a.cspan(), b.cspan()));
+}
+
+TEST(Ops, BitEqualDetectsDifference) {
+  auto a = Tensor::from_values({1, 2});
+  auto b = Tensor::from_values({1, 2});
+  EXPECT_TRUE(ops::bit_equal(a.cspan(), b.cspan()));
+  b[1] = std::nextafter(2.0f, 3.0f);
+  EXPECT_FALSE(ops::bit_equal(a.cspan(), b.cspan()));
+  Tensor c(3);
+  EXPECT_FALSE(ops::bit_equal(a.cspan(), c.cspan()));  // size mismatch
+}
+
+TEST(Ops, MaxAbsDiff) {
+  auto a = Tensor::from_values({1, 2, 3});
+  auto b = Tensor::from_values({1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(a.cspan(), b.cspan()), 1.0f);
+}
+
+TEST(Ops, FillNormalDeterministic) {
+  Tensor a(1000), b(1000);
+  Xoshiro256 r1(3), r2(3);
+  ops::fill_normal(a.span(), r1, 2.0f);
+  ops::fill_normal(b.span(), r2, 2.0f);
+  EXPECT_TRUE(ops::bit_equal(a.cspan(), b.cspan()));
+  // Spread roughly matches the requested stddev.
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sq += a[i] * a[i];
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(a.size())), 2.0, 0.25);
+}
+
+TEST(Ops, FillUniformRange) {
+  Tensor a(1000);
+  Xoshiro256 rng(4);
+  ops::fill_uniform(a.span(), rng, -1.0f, 1.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], -1.0f);
+    EXPECT_LT(a[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace lowdiff

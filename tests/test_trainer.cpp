@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "storage/throttled.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+MlpConfig small_mlp() {
+  MlpConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden = {24};
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+TrainerConfig base_config(std::size_t world, double rho) {
+  TrainerConfig cfg;
+  cfg.world = world;
+  cfg.batch_size = 32;
+  cfg.rho = rho;
+  cfg.adam.lr = 5e-3f;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(Trainer, LossDecreasesWithCompressedTraining) {
+  Trainer trainer(small_mlp(), base_config(2, 0.05));
+  const double before = trainer.eval_loss();
+  trainer.run(0, 150, nullptr);
+  const double after = trainer.eval_loss();
+  EXPECT_LT(after, before * 0.8);
+  EXPECT_GT(trainer.eval_accuracy(), 0.5);
+}
+
+TEST(Trainer, LossDecreasesWithDenseTraining) {
+  Trainer trainer(small_mlp(), base_config(2, 0.0));
+  const double before = trainer.eval_loss();
+  trainer.run(0, 120, nullptr);
+  EXPECT_LT(trainer.eval_loss(), before * 0.7);
+}
+
+class TrainerWorlds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrainerWorlds, AllRanksStayBitIdentical) {
+  const std::size_t world = GetParam();
+  Trainer trainer(small_mlp(), base_config(world, 0.05));
+  trainer.run(0, 40, nullptr);
+  for (std::size_t r = 1; r < world; ++r) {
+    EXPECT_TRUE(trainer.state(r).bit_equal(trainer.state(0)))
+        << "rank " << r << " diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, TrainerWorlds, ::testing::Values(1, 2, 4));
+
+TEST(Trainer, RunsAreDeterministic) {
+  Trainer a(small_mlp(), base_config(2, 0.05));
+  Trainer b(small_mlp(), base_config(2, 0.05));
+  const auto ra = a.run(0, 30, nullptr);
+  const auto rb = b.run(0, 30, nullptr);
+  EXPECT_EQ(ra.losses, rb.losses);
+  EXPECT_TRUE(a.state(0).bit_equal(b.state(0)));
+}
+
+TEST(Trainer, SplitRunEqualsSingleRun) {
+  // Running 40 iterations in one call must equal 25 + 15 with the data
+  // stream resuming at the right batch index.
+  Trainer whole(small_mlp(), base_config(2, 0.05));
+  whole.run(0, 40, nullptr);
+
+  Trainer split(small_mlp(), base_config(2, 0.05));
+  split.run(0, 25, nullptr);
+  split.run(25, 15, nullptr);
+
+  EXPECT_TRUE(whole.state(0).bit_equal(split.state(0)));
+}
+
+TEST(Trainer, ErrorFeedbackStillLearns) {
+  auto cfg = base_config(2, 0.02);
+  cfg.error_feedback = true;
+  Trainer trainer(small_mlp(), cfg);
+  const double before = trainer.eval_loss();
+  trainer.run(0, 150, nullptr);
+  EXPECT_LT(trainer.eval_loss(), before);
+}
+
+TEST(Trainer, SetStateRestoresAllRanks) {
+  Trainer trainer(small_mlp(), base_config(3, 0.05));
+  trainer.run(0, 10, nullptr);
+  const auto snapshot = trainer.state(0).clone();
+  trainer.run(10, 10, nullptr);
+  EXPECT_FALSE(trainer.state(0).bit_equal(snapshot));
+  trainer.set_state(snapshot);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(trainer.state(r).bit_equal(snapshot));
+  }
+}
+
+TEST(Trainer, LayerwiseRequiresDenseMode) {
+  Trainer trainer(small_mlp(), base_config(1, 0.05));
+  auto mem = std::make_shared<MemStorage>();
+  auto store = std::make_shared<CheckpointStore>(mem);
+  ModelState init(trainer.spec());
+  init.init_random(base_config(1, 0.05).seed);
+  LowDiffPlusStrategy strategy(store, init, std::make_unique<Adam>(), {});
+  EXPECT_THROW(trainer.run(0, 1, nullptr, &strategy), Error);
+}
+
+}  // namespace
+}  // namespace lowdiff
+
+namespace lowdiff {
+namespace {
+
+TEST(Trainer, QuantizedAndRandomKModesLearn) {
+  for (auto scheme : {GradCompression::kQuant8, GradCompression::kRandomK}) {
+    auto cfg = base_config(2, 0.05);
+    cfg.compression = scheme;
+    Trainer trainer(small_mlp(), cfg);
+    const double before = trainer.eval_loss();
+    trainer.run(0, 120, nullptr);
+    EXPECT_LT(trainer.eval_loss(), before)
+        << "scheme " << static_cast<int>(scheme);
+    for (std::size_t r = 1; r < 2; ++r) {
+      EXPECT_TRUE(trainer.state(r).bit_equal(trainer.state(0)));
+    }
+  }
+}
+
+TEST(Trainer, ElasticResumeWithDifferentWorldSize) {
+  // Recovery does not pin the cluster size: a state trained with world=2
+  // can resume on world=4 (different data sharding, same model).
+  Trainer original(small_mlp(), base_config(2, 0.05));
+  original.run(0, 40, nullptr);
+  const auto snapshot = original.state(0).clone();
+  const double loss_at_crash = original.eval_loss();
+
+  Trainer bigger(small_mlp(), base_config(4, 0.05));
+  bigger.set_state(snapshot);
+  bigger.run(40, 80, nullptr);
+  EXPECT_LT(bigger.eval_loss(), loss_at_crash);
+  for (std::size_t r = 1; r < 4; ++r) {
+    EXPECT_TRUE(bigger.state(r).bit_equal(bigger.state(0)));
+  }
+}
+
+TEST(Trainer, StallAccountingReflectsBlockingStrategy) {
+  // A fully synchronous strategy on a slow link must show up as stall.
+  auto mem = std::make_shared<MemStorage>();
+  auto throttled = std::make_shared<ThrottledStorage>(
+      mem, LinkSpec{5.0e6, 0.0}, /*time_scale=*/1.0);  // 5 MB/s, real sleeps
+  auto store = std::make_shared<CheckpointStore>(throttled);
+  TorchSaveStrategy strategy(store, 2);
+
+  Trainer trainer(small_mlp(), base_config(1, 0.05));
+  const auto result = trainer.run(0, 6, &strategy);
+  // Three checkpoints of a ~6KB state at 5 MB/s ≈ 3+ ms of stall.
+  EXPECT_GT(result.stall_seconds, 1e-3);
+
+  Trainer unblocked(small_mlp(), base_config(1, 0.05));
+  const auto baseline = unblocked.run(0, 6, nullptr);
+  EXPECT_LT(baseline.stall_seconds, result.stall_seconds);
+}
+
+}  // namespace
+}  // namespace lowdiff
