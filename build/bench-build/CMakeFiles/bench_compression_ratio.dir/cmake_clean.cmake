@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compression_ratio"
+  "../bench/bench_compression_ratio.pdb"
+  "CMakeFiles/bench_compression_ratio.dir/bench_compression_ratio.cpp.o"
+  "CMakeFiles/bench_compression_ratio.dir/bench_compression_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

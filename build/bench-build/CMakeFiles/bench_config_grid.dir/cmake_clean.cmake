@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_config_grid"
+  "../bench/bench_config_grid.pdb"
+  "CMakeFiles/bench_config_grid.dir/bench_config_grid.cpp.o"
+  "CMakeFiles/bench_config_grid.dir/bench_config_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

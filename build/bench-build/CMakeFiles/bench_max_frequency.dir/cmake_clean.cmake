@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_max_frequency"
+  "../bench/bench_max_frequency.pdb"
+  "CMakeFiles/bench_max_frequency.dir/bench_max_frequency.cpp.o"
+  "CMakeFiles/bench_max_frequency.dir/bench_max_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_max_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_training_time_nocomp"
+  "../bench/bench_training_time_nocomp.pdb"
+  "CMakeFiles/bench_training_time_nocomp.dir/bench_training_time_nocomp.cpp.o"
+  "CMakeFiles/bench_training_time_nocomp.dir/bench_training_time_nocomp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_time_nocomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tuning_advisor.cpp" "examples/CMakeFiles/tuning_advisor.dir/tuning_advisor.cpp.o" "gcc" "examples/CMakeFiles/tuning_advisor.dir/tuning_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lowdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lowdiff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lowdiff_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lowdiff_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/lowdiff_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/lowdiff_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lowdiff_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lowdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lowdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

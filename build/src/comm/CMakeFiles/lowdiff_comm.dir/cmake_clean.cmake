@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_comm.dir/comm_group.cpp.o"
+  "CMakeFiles/lowdiff_comm.dir/comm_group.cpp.o.d"
+  "liblowdiff_comm.a"
+  "liblowdiff_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

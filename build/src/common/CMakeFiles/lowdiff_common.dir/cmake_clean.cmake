@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_common.dir/crc32.cpp.o"
+  "CMakeFiles/lowdiff_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/lowdiff_common.dir/logging.cpp.o"
+  "CMakeFiles/lowdiff_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lowdiff_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lowdiff_common.dir/thread_pool.cpp.o.d"
+  "liblowdiff_common.a"
+  "liblowdiff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

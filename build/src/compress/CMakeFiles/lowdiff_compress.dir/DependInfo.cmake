@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressed_grad.cpp" "src/compress/CMakeFiles/lowdiff_compress.dir/compressed_grad.cpp.o" "gcc" "src/compress/CMakeFiles/lowdiff_compress.dir/compressed_grad.cpp.o.d"
+  "/root/repo/src/compress/error_feedback.cpp" "src/compress/CMakeFiles/lowdiff_compress.dir/error_feedback.cpp.o" "gcc" "src/compress/CMakeFiles/lowdiff_compress.dir/error_feedback.cpp.o.d"
+  "/root/repo/src/compress/merge.cpp" "src/compress/CMakeFiles/lowdiff_compress.dir/merge.cpp.o" "gcc" "src/compress/CMakeFiles/lowdiff_compress.dir/merge.cpp.o.d"
+  "/root/repo/src/compress/quant8.cpp" "src/compress/CMakeFiles/lowdiff_compress.dir/quant8.cpp.o" "gcc" "src/compress/CMakeFiles/lowdiff_compress.dir/quant8.cpp.o.d"
+  "/root/repo/src/compress/randomk.cpp" "src/compress/CMakeFiles/lowdiff_compress.dir/randomk.cpp.o" "gcc" "src/compress/CMakeFiles/lowdiff_compress.dir/randomk.cpp.o.d"
+  "/root/repo/src/compress/topk.cpp" "src/compress/CMakeFiles/lowdiff_compress.dir/topk.cpp.o" "gcc" "src/compress/CMakeFiles/lowdiff_compress.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/lowdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lowdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

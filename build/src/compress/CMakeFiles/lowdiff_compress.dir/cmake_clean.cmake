@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_compress.dir/compressed_grad.cpp.o"
+  "CMakeFiles/lowdiff_compress.dir/compressed_grad.cpp.o.d"
+  "CMakeFiles/lowdiff_compress.dir/error_feedback.cpp.o"
+  "CMakeFiles/lowdiff_compress.dir/error_feedback.cpp.o.d"
+  "CMakeFiles/lowdiff_compress.dir/merge.cpp.o"
+  "CMakeFiles/lowdiff_compress.dir/merge.cpp.o.d"
+  "CMakeFiles/lowdiff_compress.dir/quant8.cpp.o"
+  "CMakeFiles/lowdiff_compress.dir/quant8.cpp.o.d"
+  "CMakeFiles/lowdiff_compress.dir/randomk.cpp.o"
+  "CMakeFiles/lowdiff_compress.dir/randomk.cpp.o.d"
+  "CMakeFiles/lowdiff_compress.dir/topk.cpp.o"
+  "CMakeFiles/lowdiff_compress.dir/topk.cpp.o.d"
+  "liblowdiff_compress.a"
+  "liblowdiff_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

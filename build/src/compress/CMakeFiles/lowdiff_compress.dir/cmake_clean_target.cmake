@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblowdiff_compress.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_core.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/lowdiff_core.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/lowdiff_core.dir/config_optimizer.cpp.o"
+  "CMakeFiles/lowdiff_core.dir/config_optimizer.cpp.o.d"
+  "CMakeFiles/lowdiff_core.dir/recovery.cpp.o"
+  "CMakeFiles/lowdiff_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/lowdiff_core.dir/strategies.cpp.o"
+  "CMakeFiles/lowdiff_core.dir/strategies.cpp.o.d"
+  "CMakeFiles/lowdiff_core.dir/trainer.cpp.o"
+  "CMakeFiles/lowdiff_core.dir/trainer.cpp.o.d"
+  "liblowdiff_core.a"
+  "liblowdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dataset.cpp" "src/model/CMakeFiles/lowdiff_model.dir/dataset.cpp.o" "gcc" "src/model/CMakeFiles/lowdiff_model.dir/dataset.cpp.o.d"
+  "/root/repo/src/model/grad_gen.cpp" "src/model/CMakeFiles/lowdiff_model.dir/grad_gen.cpp.o" "gcc" "src/model/CMakeFiles/lowdiff_model.dir/grad_gen.cpp.o.d"
+  "/root/repo/src/model/mlp.cpp" "src/model/CMakeFiles/lowdiff_model.dir/mlp.cpp.o" "gcc" "src/model/CMakeFiles/lowdiff_model.dir/mlp.cpp.o.d"
+  "/root/repo/src/model/model_spec.cpp" "src/model/CMakeFiles/lowdiff_model.dir/model_spec.cpp.o" "gcc" "src/model/CMakeFiles/lowdiff_model.dir/model_spec.cpp.o.d"
+  "/root/repo/src/model/model_state.cpp" "src/model/CMakeFiles/lowdiff_model.dir/model_state.cpp.o" "gcc" "src/model/CMakeFiles/lowdiff_model.dir/model_state.cpp.o.d"
+  "/root/repo/src/model/zoo.cpp" "src/model/CMakeFiles/lowdiff_model.dir/zoo.cpp.o" "gcc" "src/model/CMakeFiles/lowdiff_model.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/lowdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lowdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

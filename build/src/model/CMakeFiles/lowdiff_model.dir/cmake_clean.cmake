@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_model.dir/dataset.cpp.o"
+  "CMakeFiles/lowdiff_model.dir/dataset.cpp.o.d"
+  "CMakeFiles/lowdiff_model.dir/grad_gen.cpp.o"
+  "CMakeFiles/lowdiff_model.dir/grad_gen.cpp.o.d"
+  "CMakeFiles/lowdiff_model.dir/mlp.cpp.o"
+  "CMakeFiles/lowdiff_model.dir/mlp.cpp.o.d"
+  "CMakeFiles/lowdiff_model.dir/model_spec.cpp.o"
+  "CMakeFiles/lowdiff_model.dir/model_spec.cpp.o.d"
+  "CMakeFiles/lowdiff_model.dir/model_state.cpp.o"
+  "CMakeFiles/lowdiff_model.dir/model_state.cpp.o.d"
+  "CMakeFiles/lowdiff_model.dir/zoo.cpp.o"
+  "CMakeFiles/lowdiff_model.dir/zoo.cpp.o.d"
+  "liblowdiff_model.a"
+  "liblowdiff_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_optim.dir/adam.cpp.o"
+  "CMakeFiles/lowdiff_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/lowdiff_optim.dir/sgd.cpp.o"
+  "CMakeFiles/lowdiff_optim.dir/sgd.cpp.o.d"
+  "liblowdiff_optim.a"
+  "liblowdiff_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

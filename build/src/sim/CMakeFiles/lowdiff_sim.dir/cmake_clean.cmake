@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_sim.dir/run_sim.cpp.o"
+  "CMakeFiles/lowdiff_sim.dir/run_sim.cpp.o.d"
+  "CMakeFiles/lowdiff_sim.dir/strategy_model.cpp.o"
+  "CMakeFiles/lowdiff_sim.dir/strategy_model.cpp.o.d"
+  "CMakeFiles/lowdiff_sim.dir/workload.cpp.o"
+  "CMakeFiles/lowdiff_sim.dir/workload.cpp.o.d"
+  "liblowdiff_sim.a"
+  "liblowdiff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/async_writer.cpp" "src/storage/CMakeFiles/lowdiff_storage.dir/async_writer.cpp.o" "gcc" "src/storage/CMakeFiles/lowdiff_storage.dir/async_writer.cpp.o.d"
+  "/root/repo/src/storage/bandwidth.cpp" "src/storage/CMakeFiles/lowdiff_storage.dir/bandwidth.cpp.o" "gcc" "src/storage/CMakeFiles/lowdiff_storage.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/storage/file_storage.cpp" "src/storage/CMakeFiles/lowdiff_storage.dir/file_storage.cpp.o" "gcc" "src/storage/CMakeFiles/lowdiff_storage.dir/file_storage.cpp.o.d"
+  "/root/repo/src/storage/mem_storage.cpp" "src/storage/CMakeFiles/lowdiff_storage.dir/mem_storage.cpp.o" "gcc" "src/storage/CMakeFiles/lowdiff_storage.dir/mem_storage.cpp.o.d"
+  "/root/repo/src/storage/serializer.cpp" "src/storage/CMakeFiles/lowdiff_storage.dir/serializer.cpp.o" "gcc" "src/storage/CMakeFiles/lowdiff_storage.dir/serializer.cpp.o.d"
+  "/root/repo/src/storage/throttled.cpp" "src/storage/CMakeFiles/lowdiff_storage.dir/throttled.cpp.o" "gcc" "src/storage/CMakeFiles/lowdiff_storage.dir/throttled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/lowdiff_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lowdiff_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lowdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lowdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

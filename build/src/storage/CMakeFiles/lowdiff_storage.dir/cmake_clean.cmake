@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_storage.dir/async_writer.cpp.o"
+  "CMakeFiles/lowdiff_storage.dir/async_writer.cpp.o.d"
+  "CMakeFiles/lowdiff_storage.dir/bandwidth.cpp.o"
+  "CMakeFiles/lowdiff_storage.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/lowdiff_storage.dir/file_storage.cpp.o"
+  "CMakeFiles/lowdiff_storage.dir/file_storage.cpp.o.d"
+  "CMakeFiles/lowdiff_storage.dir/mem_storage.cpp.o"
+  "CMakeFiles/lowdiff_storage.dir/mem_storage.cpp.o.d"
+  "CMakeFiles/lowdiff_storage.dir/serializer.cpp.o"
+  "CMakeFiles/lowdiff_storage.dir/serializer.cpp.o.d"
+  "CMakeFiles/lowdiff_storage.dir/throttled.cpp.o"
+  "CMakeFiles/lowdiff_storage.dir/throttled.cpp.o.d"
+  "liblowdiff_storage.a"
+  "liblowdiff_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdiff_tensor.dir/ops.cpp.o"
+  "CMakeFiles/lowdiff_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/lowdiff_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/lowdiff_tensor.dir/tensor.cpp.o.d"
+  "liblowdiff_tensor.a"
+  "liblowdiff_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdiff_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
