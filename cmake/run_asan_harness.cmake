@@ -1,0 +1,37 @@
+# Script-mode runner (cmake -P): configure a sub-build of this project with
+# AddressSanitizer enabled, build only the crash/recovery harness, and run
+# it.  Registered as the `asan_crash_harness` ctest entry by the top-level
+# CMakeLists (only in non-sanitized builds, so it cannot recurse).
+#
+# Required -D arguments: SOURCE_DIR, BUILD_DIR.
+
+if(NOT SOURCE_DIR OR NOT BUILD_DIR)
+  message(FATAL_ERROR "run_asan_harness.cmake needs -DSOURCE_DIR= and -DBUILD_DIR=")
+endif()
+
+message(STATUS "[asan-harness] configuring sanitized sub-build in ${BUILD_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DLOWDIFF_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_rc)
+if(NOT configure_rc EQUAL 0)
+  message(FATAL_ERROR "[asan-harness] configure failed (${configure_rc})")
+endif()
+
+cmake_host_system_information(RESULT ncores QUERY NUMBER_OF_LOGICAL_CORES)
+message(STATUS "[asan-harness] building test_fault_tolerance (-j ${ncores})")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target test_fault_tolerance
+          -j ${ncores}
+  RESULT_VARIABLE build_rc)
+if(NOT build_rc EQUAL 0)
+  message(FATAL_ERROR "[asan-harness] build failed (${build_rc})")
+endif()
+
+message(STATUS "[asan-harness] running crash harness under AddressSanitizer")
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/test_fault_tolerance
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "[asan-harness] harness failed under ASan (${run_rc})")
+endif()

@@ -8,10 +8,20 @@
 /// the failing expression and source location.  Checks are always on: the
 /// library simulates distributed-systems failure paths, so silent invariant
 /// corruption is never acceptable.
+///
+/// Expected failures — storage I/O errors, missing objects, corrupt
+/// records — are *values*, not exceptions: Status / Result<T> carry an
+/// ErrorCode so callers can distinguish retryable faults (kTransient,
+/// kUnavailable) from data loss (kCorrupted) from absence (kNotFound) and
+/// react per-code (retry, fall back, degrade).  Exceptions remain reserved
+/// for programming errors.
 
+#include <cstdint>
+#include <optional>
 #include <source_location>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace lowdiff {
 
@@ -36,6 +46,111 @@ namespace detail {
   throw Error(text, loc);
 }
 }  // namespace detail
+
+/// Classification of expected (non-programming-error) failures.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,     ///< object absent (also: present but never committed)
+  kTransient,    ///< injected / sporadic fault — retrying may succeed
+  kUnavailable,  ///< backend cannot serve the request (e.g. fs error)
+  kCorrupted,    ///< CRC mismatch, torn write, or malformed record
+  kShutdown,     ///< component is shutting down; request not accepted
+  kExhausted,    ///< retry budget spent without success
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kTransient: return "transient";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kCorrupted: return "corrupted";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kExhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
+/// Success-or-coded-error value for fallible operations (storage I/O).
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for codes where retrying the same operation can succeed.
+  bool retryable() const {
+    return code_ == ErrorCode::kTransient || code_ == ErrorCode::kUnavailable;
+  }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+  /// Bridges to the exception world at API boundaries that promise throws.
+  void check(std::source_location loc = std::source_location::current()) const {
+    if (!ok()) throw Error(to_string(), loc);
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or a (non-ok) Status.  Mirrors std::optional's access surface so
+/// `if (result.has_value())` / `*result` call sites read naturally while the
+/// error cause stays inspectable via status().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) { reject_ok_status(); }
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {
+    reject_ok_status();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & { return check_deref(); }
+  const T& value() const& { return const_cast<Result*>(this)->check_deref(); }
+  T&& value() && { return std::move(check_deref()); }
+
+  T& operator*() & { return check_deref(); }
+  const T& operator*() const& { return const_cast<Result*>(this)->check_deref(); }
+  T&& operator*() && { return std::move(check_deref()); }
+  T* operator->() { return &check_deref(); }
+  const T* operator->() const { return &const_cast<Result*>(this)->check_deref(); }
+
+ private:
+  T& check_deref() {
+    if (!value_.has_value()) {
+      throw Error("dereferenced error Result — " + status_.to_string(),
+                  std::source_location::current());
+    }
+    return *value_;
+  }
+
+  /// A Result built from an ok() status would be neither value nor error.
+  void reject_ok_status() const {
+    if (status_.ok()) {
+      throw Error("Result constructed from ok status",
+                  std::source_location::current());
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
 
 }  // namespace lowdiff
 

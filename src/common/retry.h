@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file retry.h
+/// Bounded exponential backoff with jitter for retryable storage faults.
+///
+/// The policy is deterministic given a seed (jitter comes from Xoshiro256),
+/// so fault-injection tests can assert exact retry counts.  Delays are
+/// expressed in seconds; callers that run against in-memory backends may
+/// scale them to ~zero for test speed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace lowdiff {
+
+/// Bounded exponential backoff: attempt k (0-based) sleeps
+/// base * multiplier^k, capped at max_delay, with ±jitter fractional noise.
+struct RetryPolicy {
+  int max_attempts = 4;          ///< total tries (first attempt + retries)
+  double base_delay_sec = 1e-3;  ///< delay before the first retry
+  double multiplier = 2.0;
+  double max_delay_sec = 0.1;
+  double jitter = 0.5;  ///< delay is scaled by uniform [1-jitter, 1+jitter]
+
+  /// Delay (seconds) to sleep before retry number `retry` (0-based).
+  double delay_sec(int retry, Xoshiro256& rng) const {
+    double d = base_delay_sec;
+    for (int i = 0; i < retry; ++i) d *= multiplier;
+    d = std::min(d, max_delay_sec);
+    const double scale = 1.0 + jitter * (2.0 * rng.uniform_double() - 1.0);
+    return std::max(0.0, d * scale);
+  }
+};
+
+/// Sleeps for the given number of seconds (sub-millisecond resolution).
+inline void retry_sleep(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Runs `op` (returning Status) up to policy.max_attempts times, sleeping
+/// between attempts while the failure is retryable.  Non-retryable statuses
+/// are returned immediately.  When the budget is exhausted the last status
+/// is wrapped as kExhausted.  `retries_out`, if non-null, is incremented
+/// once per retry performed.
+template <typename Op>
+Status run_with_retry(const RetryPolicy& policy, Xoshiro256& rng, Op&& op,
+                      std::uint64_t* retries_out = nullptr) {
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retry_sleep(policy.delay_sec(attempt - 1, rng));
+      if (retries_out) ++*retries_out;
+    }
+    last = op();
+    if (last.ok() || !last.retryable()) return last;
+  }
+  return Status(ErrorCode::kExhausted,
+                "retry budget spent (" + std::to_string(attempts) +
+                    " attempts) — last: " + last.to_string());
+}
+
+}  // namespace lowdiff

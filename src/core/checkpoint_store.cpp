@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "storage/atomic_commit.h"
 #include "storage/serializer.h"
 
 namespace lowdiff {
@@ -20,8 +21,9 @@ std::string pad(std::uint64_t iter) {
 
 }  // namespace
 
-CheckpointStore::CheckpointStore(std::shared_ptr<StorageBackend> backend)
-    : backend_(std::move(backend)) {
+CheckpointStore::CheckpointStore(std::shared_ptr<StorageBackend> backend,
+                                 RetryPolicy retry)
+    : backend_(std::move(backend)), retry_(retry), rng_(0xc4ec9013) {
   LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
 }
 
@@ -45,9 +47,38 @@ std::string CheckpointStore::shard_key(std::uint64_t iter, std::uint32_t rank,
   return buf;
 }
 
-void CheckpointStore::put_full(std::uint64_t iter, const ModelState& state) {
-  const auto bytes = serialize_model_state(state);
-  backend_->write(full_key(iter), bytes);
+Status CheckpointStore::write_committed(const std::string& key,
+                                        std::span<const std::byte> bytes) const {
+  // Fork a per-call RNG so retry sleeps don't serialize concurrent writers
+  // (sharded saves run one thread per rank).
+  std::uint64_t fork_seed;
+  {
+    std::lock_guard lock(rng_mutex_);
+    fork_seed = rng_();
+  }
+  Xoshiro256 rng(fork_seed);
+  std::uint64_t n = 0;
+  Status st = committed_write(*backend_, key, bytes, retry_, rng, &n);
+  retries_.fetch_add(n, std::memory_order_relaxed);
+  return st;
+}
+
+Result<std::vector<std::byte>> CheckpointStore::read_committed(
+    const std::string& key) const {
+  std::uint64_t fork_seed;
+  {
+    std::lock_guard lock(rng_mutex_);
+    fork_seed = rng_();
+  }
+  Xoshiro256 rng(fork_seed);
+  std::uint64_t n = 0;
+  auto result = committed_read(*backend_, key, retry_, rng, &n);
+  retries_.fetch_add(n, std::memory_order_relaxed);
+  return result;
+}
+
+Status CheckpointStore::put_full(std::uint64_t iter, const ModelState& state) {
+  return write_committed(full_key(iter), serialize_model_state(state));
 }
 
 namespace {
@@ -82,9 +113,9 @@ T read_pod(std::span<const std::byte> bytes, std::size_t& pos) {
 
 }  // namespace
 
-void CheckpointStore::put_full_shard(std::uint64_t iter, std::uint32_t rank,
-                                     std::uint32_t world,
-                                     const ModelState& state) {
+Status CheckpointStore::put_full_shard(std::uint64_t iter, std::uint32_t rank,
+                                       std::uint32_t world,
+                                       const ModelState& state) {
   LOWDIFF_ENSURE(world >= 1 && rank < world, "bad shard coordinates");
   const auto [lo, hi] = shard_range(state.param_count(), rank, world);
   const std::size_t count = hi - lo;
@@ -101,19 +132,23 @@ void CheckpointStore::put_full_shard(std::uint64_t iter, std::uint32_t rank,
   append_slice(payload, state.params().cspan().subspan(lo, count));
   append_slice(payload, state.moment1().span().subspan(lo, count));
   append_slice(payload, state.moment2().span().subspan(lo, count));
-  backend_->write(shard_key(iter, rank, world),
-                  frame(RecordType::kFullShard, payload));
+  return write_committed(shard_key(iter, rank, world),
+                         frame(RecordType::kFullShard, payload));
 }
 
-void CheckpointStore::put_diff(const CompressedGrad& grad) {
-  const auto bytes = serialize_diff(grad);
-  backend_->write(diff_key(grad.iteration), bytes);
+Status CheckpointStore::put_diff(const CompressedGrad& grad) {
+  return write_committed(diff_key(grad.iteration), serialize_diff(grad));
 }
 
-void CheckpointStore::put_batch(const BatchedGrad& batch) {
+Status CheckpointStore::put_batch(const BatchedGrad& batch) {
   LOWDIFF_ENSURE(!batch.members.empty(), "empty batch");
-  const auto bytes = serialize_batch(batch);
-  backend_->write(batch_key(batch.first_iteration, batch.last_iteration), bytes);
+  return write_committed(batch_key(batch.first_iteration, batch.last_iteration),
+                         serialize_batch(batch));
+}
+
+Status CheckpointStore::put_raw(const std::string& key,
+                                std::span<const std::byte> bytes) {
+  return write_committed(key, bytes);
 }
 
 bool CheckpointStore::parse_key(const std::string& key, char& kind,
@@ -145,10 +180,22 @@ bool CheckpointStore::parse_key(const std::string& key, char& kind,
   return false;
 }
 
+std::vector<std::string> CheckpointStore::committed_keys() const {
+  const auto all = backend_->list();
+  const std::set<std::string> index(all.begin(), all.end());
+  std::vector<std::string> visible;
+  visible.reserve(all.size() / 2);
+  for (const auto& key : all) {
+    if (is_commit_marker(key)) continue;
+    if (index.contains(commit_marker_key(key))) visible.push_back(key);
+  }
+  return visible;
+}
+
 std::vector<std::uint64_t> CheckpointStore::complete_shard_sets() const {
   // iter -> (world, ranks seen)
   std::map<std::uint64_t, std::pair<std::uint32_t, std::set<std::uint32_t>>> seen;
-  for (const auto& key : backend_->list()) {
+  for (const auto& key : committed_keys()) {
     char kind;
     std::uint64_t a = 0, b = 0;
     if (!parse_key(key, kind, a, b) || kind != 's') continue;
@@ -168,24 +215,27 @@ std::vector<std::uint64_t> CheckpointStore::complete_shard_sets() const {
 }
 
 std::optional<std::uint64_t> CheckpointStore::latest_full() const {
-  std::optional<std::uint64_t> latest;
-  for (const auto& key : backend_->list()) {
+  const auto all = fulls();
+  if (all.empty()) return std::nullopt;
+  return all.back();
+}
+
+std::vector<std::uint64_t> CheckpointStore::fulls() const {
+  std::vector<std::uint64_t> result;
+  for (const auto& key : committed_keys()) {
     char kind;
     std::uint64_t a = 0, b = 0;
-    if (parse_key(key, kind, a, b) && kind == 'f') {
-      if (!latest.has_value() || a > *latest) latest = a;
-    }
+    if (parse_key(key, kind, a, b) && kind == 'f') result.push_back(a);
   }
-  // Sharded full checkpoints count only when every shard is present.
-  for (std::uint64_t iter : complete_shard_sets()) {
-    if (!latest.has_value() || iter > *latest) latest = iter;
-  }
-  return latest;
+  for (std::uint64_t iter : complete_shard_sets()) result.push_back(iter);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
 }
 
 std::vector<std::uint64_t> CheckpointStore::diffs_after(std::uint64_t iter) const {
   std::vector<std::uint64_t> result;
-  for (const auto& key : backend_->list()) {
+  for (const auto& key : committed_keys()) {
     char kind;
     std::uint64_t a = 0, b = 0;
     if (!parse_key(key, kind, a, b)) continue;
@@ -202,14 +252,24 @@ std::vector<std::uint64_t> CheckpointStore::diffs_after(std::uint64_t iter) cons
   return result;
 }
 
-ModelState CheckpointStore::read_full(std::uint64_t iter,
-                                      const ModelSpec& spec) const {
-  if (auto bytes = backend_->read(full_key(iter)); bytes.has_value()) {
-    return deserialize_model_state(*bytes, spec);
+Result<ModelState> CheckpointStore::try_read_full(std::uint64_t iter,
+                                                  const ModelSpec& spec) const {
+  using R = Result<ModelState>;
+  if (auto bytes = read_committed(full_key(iter)); bytes.ok()) {
+    try {
+      return deserialize_model_state(*bytes, spec);
+    } catch (const Error& e) {
+      return R(ErrorCode::kCorrupted,
+               full_key(iter) + " undecodable: " + e.what());
+    }
+  } else if (bytes.status().code() != ErrorCode::kNotFound) {
+    return R(bytes.status());
   }
-  // Assemble from shards.  Discover the world size from any shard key.
+
+  // Assemble from shards.  Discover the world size from any committed
+  // shard key for this iteration.
   std::uint32_t world = 0;
-  for (const auto& key : backend_->list()) {
+  for (const auto& key : committed_keys()) {
     char kind;
     std::uint64_t a = 0, b = 0;
     if (parse_key(key, kind, a, b) && kind == 's' && a == iter) {
@@ -217,51 +277,70 @@ ModelState CheckpointStore::read_full(std::uint64_t iter,
       break;
     }
   }
-  LOWDIFF_ENSURE(world > 0, "missing full checkpoint " + full_key(iter));
-
-  ModelState state(spec);
-  std::size_t assembled = 0;
-  for (std::uint32_t rank = 0; rank < world; ++rank) {
-    auto bytes = backend_->read(shard_key(iter, rank, world));
-    LOWDIFF_ENSURE(bytes.has_value(),
-                   "incomplete sharded checkpoint at iteration " +
-                       std::to_string(iter));
-    auto [type, payload] = unframe(*bytes);
-    LOWDIFF_ENSURE(type == RecordType::kFullShard, "not a checkpoint shard");
-    std::size_t pos = 0;
-    const auto shard_iter = read_pod<std::uint64_t>(payload, pos);
-    const auto shard_rank = read_pod<std::uint32_t>(payload, pos);
-    const auto shard_world = read_pod<std::uint32_t>(payload, pos);
-    const auto step = read_pod<std::uint64_t>(payload, pos);
-    const auto param_count = read_pod<std::uint64_t>(payload, pos);
-    const auto lo = read_pod<std::uint64_t>(payload, pos);
-    const auto count = read_pod<std::uint64_t>(payload, pos);
-    LOWDIFF_ENSURE(shard_iter == iter && shard_rank == rank && shard_world == world,
-                   "shard metadata mismatch");
-    LOWDIFF_ENSURE(param_count == spec.param_count(),
-                   "shard parameter count does not match model spec");
-    LOWDIFF_ENSURE(lo + count <= param_count, "shard range out of bounds");
-    LOWDIFF_ENSURE(pos + 3 * count * sizeof(float) == payload.size(),
-                   "shard payload size mismatch");
-    auto copy_slice = [&payload, &pos](std::span<float> dst) {
-      if (!dst.empty()) {
-        std::memcpy(dst.data(), payload.data() + pos, dst.size_bytes());
-      }
-      pos += dst.size_bytes();
-    };
-    copy_slice(state.params().span().subspan(lo, count));
-    copy_slice(state.moment1().span().subspan(lo, count));
-    copy_slice(state.moment2().span().subspan(lo, count));
-    state.set_step(step);
-    assembled += count;
+  if (world == 0) {
+    return R(ErrorCode::kNotFound, "missing full checkpoint " + full_key(iter));
   }
-  LOWDIFF_ENSURE(assembled == spec.param_count(), "shards do not cover the state");
-  return state;
+
+  try {
+    ModelState state(spec);
+    std::size_t assembled = 0;
+    for (std::uint32_t rank = 0; rank < world; ++rank) {
+      auto bytes = read_committed(shard_key(iter, rank, world));
+      if (!bytes.ok()) {
+        return R(bytes.status().code() == ErrorCode::kNotFound
+                     ? Status(ErrorCode::kNotFound,
+                              "incomplete sharded checkpoint at iteration " +
+                                  std::to_string(iter))
+                     : bytes.status());
+      }
+      auto [type, payload] = unframe(*bytes);
+      LOWDIFF_ENSURE(type == RecordType::kFullShard, "not a checkpoint shard");
+      std::size_t pos = 0;
+      const auto shard_iter = read_pod<std::uint64_t>(payload, pos);
+      const auto shard_rank = read_pod<std::uint32_t>(payload, pos);
+      const auto shard_world = read_pod<std::uint32_t>(payload, pos);
+      const auto step = read_pod<std::uint64_t>(payload, pos);
+      const auto param_count = read_pod<std::uint64_t>(payload, pos);
+      const auto lo = read_pod<std::uint64_t>(payload, pos);
+      const auto count = read_pod<std::uint64_t>(payload, pos);
+      LOWDIFF_ENSURE(shard_iter == iter && shard_rank == rank && shard_world == world,
+                     "shard metadata mismatch");
+      LOWDIFF_ENSURE(param_count == spec.param_count(),
+                     "shard parameter count does not match model spec");
+      LOWDIFF_ENSURE(lo + count <= param_count, "shard range out of bounds");
+      LOWDIFF_ENSURE(pos + 3 * count * sizeof(float) == payload.size(),
+                     "shard payload size mismatch");
+      auto copy_slice = [&payload, &pos](std::span<float> dst) {
+        if (!dst.empty()) {
+          std::memcpy(dst.data(), payload.data() + pos, dst.size_bytes());
+        }
+        pos += dst.size_bytes();
+      };
+      copy_slice(state.params().span().subspan(lo, count));
+      copy_slice(state.moment1().span().subspan(lo, count));
+      copy_slice(state.moment2().span().subspan(lo, count));
+      state.set_step(step);
+      assembled += count;
+    }
+    LOWDIFF_ENSURE(assembled == spec.param_count(), "shards do not cover the state");
+    return state;
+  } catch (const Error& e) {
+    return R(ErrorCode::kCorrupted, "sharded checkpoint at iteration " +
+                                        std::to_string(iter) +
+                                        " undecodable: " + e.what());
+  }
+}
+
+ModelState CheckpointStore::read_full(std::uint64_t iter,
+                                      const ModelSpec& spec) const {
+  auto result = try_read_full(iter, spec);
+  result.status().check();
+  return std::move(*result);
 }
 
 std::optional<CheckpointStore::BatchRef> CheckpointStore::batch_containing(
     std::uint64_t iter) const {
-  for (const auto& key : backend_->list()) {
+  for (const auto& key : committed_keys()) {
     char kind;
     std::uint64_t a = 0, b = 0;
     if (parse_key(key, kind, a, b) && kind == 'b' && a <= iter && iter <= b) {
@@ -271,33 +350,60 @@ std::optional<CheckpointStore::BatchRef> CheckpointStore::batch_containing(
   return std::nullopt;
 }
 
-CompressedGrad CheckpointStore::read_diff(std::uint64_t iter) const {
-  if (auto bytes = backend_->read(diff_key(iter)); bytes.has_value()) {
-    return deserialize_diff(*bytes);
+Result<CompressedGrad> CheckpointStore::try_read_diff(std::uint64_t iter) const {
+  using R = Result<CompressedGrad>;
+  if (auto bytes = read_committed(diff_key(iter)); bytes.ok()) {
+    try {
+      return deserialize_diff(*bytes);
+    } catch (const Error& e) {
+      return R(ErrorCode::kCorrupted,
+               diff_key(iter) + " undecodable: " + e.what());
+    }
+  } else if (bytes.status().code() != ErrorCode::kNotFound) {
+    return R(bytes.status());
   }
+
   const auto ref = batch_containing(iter);
-  LOWDIFF_ENSURE(ref.has_value(),
-                 "missing differential checkpoint for iteration " +
-                     std::to_string(iter));
-  auto bytes = backend_->read(ref->key);
-  LOWDIFF_ENSURE(bytes.has_value(), "missing batch " + ref->key);
-  const BatchedGrad batch = deserialize_batch(*bytes);
-  for (const auto& member : batch.members) {
-    if (member.iteration == iter) return member;
+  if (!ref.has_value()) {
+    return R(ErrorCode::kNotFound,
+             "missing differential checkpoint for iteration " +
+                 std::to_string(iter));
   }
-  throw Error("batch " + ref->key + " does not contain iteration " +
-                  std::to_string(iter),
-              std::source_location::current());
+  auto bytes = read_committed(ref->key);
+  if (!bytes.ok()) return R(bytes.status());
+  try {
+    const BatchedGrad batch = deserialize_batch(*bytes);
+    for (const auto& member : batch.members) {
+      if (member.iteration == iter) return member;
+    }
+    return R(ErrorCode::kCorrupted, "batch " + ref->key +
+                                        " does not contain iteration " +
+                                        std::to_string(iter));
+  } catch (const Error& e) {
+    return R(ErrorCode::kCorrupted, ref->key + " undecodable: " + e.what());
+  }
+}
+
+CompressedGrad CheckpointStore::read_diff(std::uint64_t iter) const {
+  auto result = try_read_diff(iter);
+  result.status().check();
+  return std::move(*result);
 }
 
 void CheckpointStore::prune_before(std::uint64_t iter) {
   for (const auto& key : backend_->list()) {
+    if (is_commit_marker(key)) continue;  // removed with their data object
     char kind;
     std::uint64_t a = 0, b = 0;
     if (!parse_key(key, kind, a, b)) continue;
     const bool obsolete = (kind == 'f' && a < iter) || (kind == 'd' && a <= iter) ||
                           (kind == 'b' && b <= iter) || (kind == 's' && a < iter);
-    if (obsolete) backend_->remove(key);
+    if (obsolete) {
+      // Marker first: a data object without a marker is invisible, while a
+      // dangling marker would read as a corrupt (data-missing) checkpoint.
+      backend_->remove(commit_marker_key(key));
+      backend_->remove(key);
+    }
   }
 }
 

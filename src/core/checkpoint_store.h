@@ -6,13 +6,23 @@
 /// numbers so a lexicographic listing is a chronological manifest — the
 /// recovery process scans it to find the latest full checkpoint and every
 /// differential after it (Eq. 2).
+///
+/// All writes follow the atomic commit protocol (atomic_commit.h): a data
+/// object is only part of the manifest once its commit marker exists, and
+/// the marker carries the object's length + CRC32C.  Scans ignore
+/// uncommitted objects, so a torn or in-flight write can never be recovered
+/// from; reads validate against the marker and report kCorrupted instead of
+/// silently consuming damaged state.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "compress/compressed_grad.h"
 #include "compress/merge.h"
 #include "model/model_state.h"
@@ -22,30 +32,36 @@ namespace lowdiff {
 
 class CheckpointStore {
  public:
-  explicit CheckpointStore(std::shared_ptr<StorageBackend> backend);
+  explicit CheckpointStore(std::shared_ptr<StorageBackend> backend,
+                           RetryPolicy retry = {});
 
   StorageBackend& backend() { return *backend_; }
   const StorageBackend& backend() const { return *backend_; }
   std::shared_ptr<StorageBackend> backend_ptr() const { return backend_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   // --- writes -------------------------------------------------------------
 
   /// Persists a full checkpoint of `state` taken after iteration `iter`.
-  void put_full(std::uint64_t iter, const ModelState& state);
+  Status put_full(std::uint64_t iter, const ModelState& state);
 
   /// Sharded full checkpoint: rank `rank` of `world` persists its slice of
   /// the flat state (params + moments are split by the same element range).
   /// A sharded checkpoint is only *visible* to latest_full()/read_full()
   /// once all `world` shards are present, so a failure mid-save can never
   /// be recovered from half a checkpoint.
-  void put_full_shard(std::uint64_t iter, std::uint32_t rank, std::uint32_t world,
-                      const ModelState& state);
+  Status put_full_shard(std::uint64_t iter, std::uint32_t rank,
+                        std::uint32_t world, const ModelState& state);
 
   /// Persists one differential checkpoint (a reused compressed gradient).
-  void put_diff(const CompressedGrad& grad);
+  Status put_diff(const CompressedGrad& grad);
 
   /// Persists a batched differential checkpoint C^B.
-  void put_batch(const BatchedGrad& batch);
+  Status put_batch(const BatchedGrad& batch);
+
+  /// Commits pre-serialized bytes under `key` (async write paths and the
+  /// Gemini memory tier go through this so their objects are visible).
+  Status put_raw(const std::string& key, std::span<const std::byte> bytes);
 
   /// Pre-serialized variants for async write paths.
   static std::string full_key(std::uint64_t iter);
@@ -56,30 +72,40 @@ class CheckpointStore {
 
   // --- manifest -----------------------------------------------------------
 
-  /// Iteration of the most recent full checkpoint, if any.
+  /// Iteration of the most recent committed full checkpoint, if any.
   std::optional<std::uint64_t> latest_full() const;
 
-  /// Iterations of all differential checkpoints (batch members expanded)
-  /// strictly after `iter`, ascending.
+  /// Iterations of every committed full checkpoint (monolithic and complete
+  /// shard sets), ascending — recovery walks this backwards when the latest
+  /// full turns out to be corrupt.
+  std::vector<std::uint64_t> fulls() const;
+
+  /// Iterations of all committed differential checkpoints (batch members
+  /// expanded) strictly after `iter`, ascending.
   std::vector<std::uint64_t> diffs_after(std::uint64_t iter) const;
 
   /// Iterations whose sharded full checkpoints are complete (every rank's
-  /// shard present), ascending.  Incomplete sets are invisible to
+  /// shard committed), ascending.  Incomplete sets are invisible to
   /// latest_full().
   std::vector<std::uint64_t> complete_shard_sets() const;
 
   // --- reads --------------------------------------------------------------
 
+  /// Throwing reads (programming-error style) for callers that have already
+  /// validated existence via the manifest.
   ModelState read_full(std::uint64_t iter, const ModelSpec& spec) const;
-
-  /// Reads the differential for iteration `iter`, whether it was stored
-  /// standalone or inside a batch.
   CompressedGrad read_diff(std::uint64_t iter) const;
+
+  /// Non-throwing reads: kNotFound when absent/uncommitted, kCorrupted on
+  /// CRC/length mismatch or undecodable payload.
+  Result<ModelState> try_read_full(std::uint64_t iter, const ModelSpec& spec) const;
+  Result<CompressedGrad> try_read_diff(std::uint64_t iter) const;
 
   // --- maintenance ---------------------------------------------------------
 
   /// Deletes checkpoints made obsolete by the full checkpoint at `iter`
-  /// (older fulls and all differentials at or before `iter`).
+  /// (older fulls and all differentials at or before `iter`), markers
+  /// included.
   void prune_before(std::uint64_t iter);
 
   /// Total bytes currently stored, split by kind (Exp. 7 storage table).
@@ -90,6 +116,11 @@ class CheckpointStore {
     std::uint64_t diff_count = 0;
   };
   Usage usage() const;
+
+  /// Storage retries performed by this store's reads/writes so far.
+  std::uint64_t retry_count() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct BatchRef {
@@ -102,9 +133,20 @@ class CheckpointStore {
   static bool parse_key(const std::string& key, char& kind, std::uint64_t& a,
                         std::uint64_t& b);
 
+  /// Data keys from list() that have a commit marker (markers excluded).
+  std::vector<std::string> committed_keys() const;
+
+  Status write_committed(const std::string& key,
+                         std::span<const std::byte> bytes) const;
+  Result<std::vector<std::byte>> read_committed(const std::string& key) const;
+
   std::optional<BatchRef> batch_containing(std::uint64_t iter) const;
 
   std::shared_ptr<StorageBackend> backend_;
+  RetryPolicy retry_;
+  mutable std::mutex rng_mutex_;
+  mutable Xoshiro256 rng_;
+  mutable std::atomic<std::uint64_t> retries_{0};
 };
 
 }  // namespace lowdiff

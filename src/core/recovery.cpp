@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "compress/merge.h"
 #include "tensor/ops.h"
 
@@ -17,24 +18,61 @@ RecoveryEngine::RecoveryEngine(ModelSpec spec,
   LOWDIFF_ENSURE(compressor_ != nullptr, "null compressor");
 }
 
+ModelState RecoveryEngine::load_base(const CheckpointStore& store,
+                                     std::uint64_t& full_iter,
+                                     RecoveryReport* report) const {
+  const auto fulls = store.fulls();
+  LOWDIFF_ENSURE(!fulls.empty(), "no full checkpoint to recover from");
+  // Newest first; degrade to older fulls when the newer ones are corrupt.
+  for (auto it = fulls.rbegin(); it != fulls.rend(); ++it) {
+    auto result = store.try_read_full(*it, spec_);
+    if (result.ok()) {
+      full_iter = *it;
+      return std::move(*result);
+    }
+    LOWDIFF_LOG_ERROR("full checkpoint at iteration ", *it,
+                      " unusable: ", result.status().to_string());
+    if (report != nullptr) ++report->corrupt_fulls_skipped;
+  }
+  throw Error("every full checkpoint is corrupt; cannot recover",
+              std::source_location::current());
+}
+
 ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
                                           RecoveryReport* report) const {
-  const auto full_iter = store.latest_full();
-  LOWDIFF_ENSURE(full_iter.has_value(), "no full checkpoint to recover from");
-  ModelState state = store.read_full(*full_iter, spec_);
+  const std::uint64_t retries_before = store.retry_count();
+  std::uint64_t full_iter = 0;
+  ModelState state = load_base(store, full_iter, report);
 
-  const auto diffs = store.diffs_after(*full_iter);
+  const auto diffs = store.diffs_after(full_iter);
   Tensor dense(spec_.param_count());
+  std::uint64_t applied_until = full_iter;
+  std::uint64_t applied = 0, corrupt = 0;
+  bool truncated = false;
   for (std::uint64_t iter : diffs) {
-    const CompressedGrad payload = store.read_diff(iter);
-    compressor_->decompress(payload, dense.span());
+    auto payload = store.try_read_diff(iter);
+    if (!payload.ok()) {
+      // Replay must be a contiguous prefix, so the first bad differential
+      // ends it — but keep scanning so every corrupt record is reported.
+      LOWDIFF_LOG_ERROR("differential at iteration ", iter,
+                        " unusable: ", payload.status().to_string());
+      ++corrupt;
+      truncated = true;
+      continue;
+    }
+    if (truncated) continue;
+    compressor_->decompress(*payload, dense.span());
     optimizer_->step(state, dense.cspan());
+    applied_until = iter;
+    ++applied;
   }
   if (report != nullptr) {
-    report->full_iteration = *full_iter;
-    report->diffs_replayed = diffs.size();
-    report->final_iteration = diffs.empty() ? *full_iter : diffs.back();
+    report->full_iteration = full_iter;
+    report->diffs_replayed = applied;
+    report->final_iteration = applied_until;
     report->merge_rounds = 0;
+    report->corrupt_diffs_skipped = corrupt;
+    report->retries += store.retry_count() - retries_before;
   }
   return state;
 }
@@ -42,39 +80,52 @@ ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
 ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
                                             ThreadPool& pool,
                                             RecoveryReport* report) const {
-  const auto full_iter = store.latest_full();
-  LOWDIFF_ENSURE(full_iter.has_value(), "no full checkpoint to recover from");
+  const std::uint64_t retries_before = store.retry_count();
+  std::uint64_t full_iter = 0;
+  ModelState state = load_base(store, full_iter, report);
 
-  const auto diffs = store.diffs_after(*full_iter);
+  const auto diffs = store.diffs_after(full_iter);
 
-  // Load the full checkpoint concurrently with every differential read +
-  // decompress — the I/O-parallel half of the Fig. 7 scheme.
-  auto full_future = pool.submit(
-      [this, &store, iter = *full_iter] { return store.read_full(iter, spec_); });
-
-  std::vector<std::future<Tensor>> dense_futures;
+  // Read + decompress every differential concurrently — the I/O-parallel
+  // half of the Fig. 7 scheme.
+  std::vector<std::future<Result<Tensor>>> dense_futures;
   dense_futures.reserve(diffs.size());
   for (std::uint64_t iter : diffs) {
-    dense_futures.push_back(pool.submit([this, &store, iter] {
-      const CompressedGrad payload = store.read_diff(iter);
+    dense_futures.push_back(pool.submit([this, &store, iter]() -> Result<Tensor> {
+      auto payload = store.try_read_diff(iter);
+      if (!payload.ok()) return Result<Tensor>(payload.status());
       Tensor dense(spec_.param_count());
-      compressor_->decompress(payload, dense.span());
+      compressor_->decompress(*payload, dense.span());
       return dense;
     }));
   }
 
-  ModelState state = full_future.get();
   // Ordered replay: Adam's moment updates do not commute, so exactness
   // requires applying gradients in iteration order.
-  for (auto& fut : dense_futures) {
-    const Tensor dense = fut.get();
-    optimizer_->step(state, dense.cspan());
+  std::uint64_t applied_until = full_iter;
+  std::uint64_t applied = 0, corrupt = 0;
+  bool truncated = false;
+  for (std::size_t i = 0; i < dense_futures.size(); ++i) {
+    auto dense = dense_futures[i].get();
+    if (!dense.ok()) {
+      LOWDIFF_LOG_ERROR("differential at iteration ", diffs[i],
+                        " unusable: ", dense.status().to_string());
+      ++corrupt;
+      truncated = true;
+      continue;
+    }
+    if (truncated) continue;
+    optimizer_->step(state, dense->cspan());
+    applied_until = diffs[i];
+    ++applied;
   }
   if (report != nullptr) {
-    report->full_iteration = *full_iter;
-    report->diffs_replayed = diffs.size();
-    report->final_iteration = diffs.empty() ? *full_iter : diffs.back();
+    report->full_iteration = full_iter;
+    report->diffs_replayed = applied;
+    report->final_iteration = applied_until;
     report->merge_rounds = 0;
+    report->corrupt_diffs_skipped = corrupt;
+    report->retries += store.retry_count() - retries_before;
   }
   return state;
 }
@@ -82,22 +133,39 @@ ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
 ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& store,
                                                      ThreadPool& pool, float lr,
                                                      RecoveryReport* report) const {
-  const auto full_iter = store.latest_full();
-  LOWDIFF_ENSURE(full_iter.has_value(), "no full checkpoint to recover from");
+  const std::uint64_t retries_before = store.retry_count();
+  std::uint64_t full_iter = 0;
+  ModelState state = load_base(store, full_iter, report);
 
-  const auto diff_iters = store.diffs_after(*full_iter);
-  auto full_future = pool.submit(
-      [this, &store, iter = *full_iter] { return store.read_full(iter, spec_); });
+  const auto diff_iters = store.diffs_after(full_iter);
 
   // Round 0: parallel load of every differential payload.
-  std::vector<std::future<CompressedGrad>> loads;
+  std::vector<std::future<Result<CompressedGrad>>> loads;
   loads.reserve(diff_iters.size());
   for (std::uint64_t iter : diff_iters) {
-    loads.push_back(pool.submit([&store, iter] { return store.read_diff(iter); }));
+    loads.push_back(pool.submit([&store, iter] { return store.try_read_diff(iter); }));
   }
+  // Usable prefix: corruption at position k truncates the replay there
+  // (even additively, applying post-gap updates would yield a state that
+  // never existed during training).
   std::vector<CompressedGrad> payloads;
   payloads.reserve(loads.size());
-  for (auto& fut : loads) payloads.push_back(fut.get());
+  std::uint64_t corrupt = 0;
+  bool truncated = false;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    auto payload = loads[i].get();
+    if (!payload.ok()) {
+      LOWDIFF_LOG_ERROR("differential at iteration ", diff_iters[i],
+                        " unusable: ", payload.status().to_string());
+      ++corrupt;
+      truncated = true;
+      continue;
+    }
+    if (!truncated) payloads.push_back(std::move(*payload));
+  }
+  const std::uint64_t applied = payloads.size();
+  const std::uint64_t applied_until =
+      applied == 0 ? full_iter : diff_iters[applied - 1];
 
   // Pairwise merge rounds (Fig. 7): gradients of a state-free optimizer
   // compose additively, so summing sparse payloads preserves the result.
@@ -119,7 +187,6 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
     payloads = std::move(next);
   }
 
-  ModelState state = full_future.get();
   if (!payloads.empty()) {
     // Single apply of the merged update: params -= lr * sum(G).
     auto params = state.params().span();
@@ -127,13 +194,15 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
     for (std::size_t i = 0; i < merged.indices.size(); ++i) {
       params[merged.indices[i]] -= lr * merged.values[i];
     }
-    state.set_step(state.step() + diff_iters.size());
+    state.set_step(state.step() + applied);
   }
   if (report != nullptr) {
-    report->full_iteration = *full_iter;
-    report->diffs_replayed = diff_iters.size();
-    report->final_iteration = diff_iters.empty() ? *full_iter : diff_iters.back();
+    report->full_iteration = full_iter;
+    report->diffs_replayed = applied;
+    report->final_iteration = applied_until;
     report->merge_rounds = rounds;
+    report->corrupt_diffs_skipped = corrupt;
+    report->retries += store.retry_count() - retries_before;
   }
   return state;
 }

@@ -15,6 +15,13 @@
 /// also merges differentials pairwise in ⌈log₂ n⌉ rounds before a single
 /// apply.  For stateful optimizers (Adam) the replay itself stays ordered,
 /// which is required for exactness; the tests pin both equivalences.
+///
+/// Corruption awareness: every read is CRC-validated against the commit
+/// manifest.  A corrupt full checkpoint causes fallback to the next older
+/// valid full; a corrupt differential truncates the replay at that point
+/// (replay must be a contiguous prefix for bit-exactness) while the
+/// remaining differentials are still scanned so the report counts every
+/// corrupt record.  Recovery throws only when no valid full exists at all.
 
 #include <memory>
 
@@ -31,6 +38,9 @@ struct RecoveryReport {
   std::uint64_t final_iteration = 0;  ///< iteration after replay
   std::uint64_t diffs_replayed = 0;
   std::uint64_t merge_rounds = 0;     ///< parallel pairwise merge rounds
+  std::uint64_t corrupt_diffs_skipped = 0;  ///< CRC/decoding failures seen
+  std::uint64_t corrupt_fulls_skipped = 0;  ///< fulls rejected before base
+  std::uint64_t retries = 0;  ///< storage retries during recovery reads
 };
 
 class RecoveryEngine {
@@ -59,6 +69,11 @@ class RecoveryEngine {
                                        RecoveryReport* report = nullptr) const;
 
  private:
+  /// Loads the newest valid full checkpoint, falling back to older ones
+  /// when reads come back corrupt.  Throws when none is valid.
+  ModelState load_base(const CheckpointStore& store, std::uint64_t& full_iter,
+                       RecoveryReport* report) const;
+
   ModelSpec spec_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<Compressor> compressor_;

@@ -3,10 +3,24 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "storage/atomic_commit.h"
 #include "storage/serializer.h"
 #include "tensor/ops.h"
 
 namespace lowdiff {
+
+namespace {
+
+/// Strategies persist through the atomic commit protocol so a crash
+/// mid-write never leaves a visible torn checkpoint.
+AsyncWriter::Options committed_writer(std::size_t max_pending) {
+  AsyncWriter::Options opt;
+  opt.max_pending = max_pending;
+  opt.committed = true;
+  return opt;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TorchSave
@@ -22,12 +36,18 @@ TorchSaveStrategy::TorchSaveStrategy(std::shared_ptr<CheckpointStore> store,
 void TorchSaveStrategy::after_step(std::uint64_t iter, const ModelState& state,
                                    std::shared_ptr<const CompressedGrad>) {
   if ((iter + 1) % interval_ != 0) return;
-  store_->put_full(iter, state);  // synchronous: blocks the training thread
+  // Synchronous: blocks the training thread; a persistent failure here is
+  // fatal by design (torch.save semantics).
+  store_->put_full(iter, state).check();
   ++stats_.full_ckpts;
   stats_.bytes_written += state.byte_size();
 }
 
-StrategyStats TorchSaveStrategy::stats() const { return stats_; }
+StrategyStats TorchSaveStrategy::stats() const {
+  StrategyStats out = stats_;
+  out.write_retries = store_->retry_count();
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // CheckFreq
@@ -36,7 +56,7 @@ StrategyStats TorchSaveStrategy::stats() const { return stats_; }
 CheckFreqStrategy::CheckFreqStrategy(std::shared_ptr<CheckpointStore> store,
                                      std::uint64_t interval)
     : store_(std::move(store)), interval_(interval),
-      writer_(store_->backend_ptr(), /*max_pending=*/1) {
+      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
   LOWDIFF_ENSURE(interval_ >= 1, "interval must be >= 1");
 }
 
@@ -54,7 +74,11 @@ void CheckFreqStrategy::after_step(std::uint64_t iter, const ModelState& state,
 
 void CheckFreqStrategy::flush() { writer_.flush(); }
 
-StrategyStats CheckFreqStrategy::stats() const { return stats_; }
+StrategyStats CheckFreqStrategy::stats() const {
+  StrategyStats out = stats_;
+  out.write_retries = writer_.retries();
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Gemini
@@ -64,10 +88,11 @@ GeminiStrategy::GeminiStrategy(std::shared_ptr<StorageBackend> memory_tier,
                                std::shared_ptr<CheckpointStore> durable,
                                std::uint64_t interval,
                                std::uint64_t persist_interval)
-    : memory_tier_(std::move(memory_tier)), durable_(std::move(durable)),
-      interval_(interval), persist_interval_(persist_interval),
-      writer_(durable_->backend_ptr(), /*max_pending=*/1) {
-  LOWDIFF_ENSURE(memory_tier_ != nullptr, "null memory tier");
+    : memory_tier_(std::move(memory_tier)),
+      tier_store_(memory_tier_),  // throws on a null tier
+      durable_(std::move(durable)), interval_(interval),
+      persist_interval_(persist_interval),
+      writer_(durable_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
   LOWDIFF_ENSURE(interval_ >= 1 && persist_interval_ >= 1, "bad intervals");
 }
 
@@ -77,8 +102,9 @@ void GeminiStrategy::after_step(std::uint64_t iter, const ModelState& state,
   auto bytes = serialize_model_state(state);
   stats_.bytes_written += bytes.size();
   // Ship to the (remote) CPU-memory tier; traffic cost is borne by the
-  // tier's throttler if one is configured.
-  memory_tier_->write(CheckpointStore::full_key(iter), bytes);
+  // tier's throttler if one is configured.  A failed tier write leaves no
+  // committed object — recovery simply falls back to an older snapshot.
+  (void)tier_store_.put_raw(CheckpointStore::full_key(iter), bytes);
   ++stats_.full_ckpts;
   if ((iter + 1) % (interval_ * persist_interval_) == 0) {
     writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
@@ -87,7 +113,11 @@ void GeminiStrategy::after_step(std::uint64_t iter, const ModelState& state,
 
 void GeminiStrategy::flush() { writer_.flush(); }
 
-StrategyStats GeminiStrategy::stats() const { return stats_; }
+StrategyStats GeminiStrategy::stats() const {
+  StrategyStats out = stats_;
+  out.write_retries = writer_.retries() + tier_store_.retry_count();
+  return out;
+}
 
 ModelState GeminiStrategy::recover_from_memory(const ModelSpec& spec) const {
   CheckpointStore tier_view(memory_tier_);
@@ -172,7 +202,7 @@ NaiveDcStrategy::NaiveDcStrategy(std::shared_ptr<CheckpointStore> store,
                                  std::uint64_t full_interval)
     : store_(std::move(store)), compressor_(std::move(compressor)),
       diff_interval_(diff_interval), full_interval_(full_interval),
-      writer_(store_->backend_ptr(), /*max_pending=*/1) {
+      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
   LOWDIFF_ENSURE(compressor_ != nullptr, "null compressor");
   LOWDIFF_ENSURE(diff_interval_ >= 1 && full_interval_ >= 1, "bad intervals");
 }
@@ -224,7 +254,11 @@ void NaiveDcStrategy::after_step(std::uint64_t iter, const ModelState& state,
 
 void NaiveDcStrategy::flush() { writer_.flush(); }
 
-StrategyStats NaiveDcStrategy::stats() const { return stats_; }
+StrategyStats NaiveDcStrategy::stats() const {
+  StrategyStats out = stats_;
+  out.write_retries = writer_.retries();
+  return out;
+}
 
 ModelState NaiveDcStrategy::recover(const CheckpointStore& store,
                                     const ModelSpec& spec,
@@ -233,20 +267,24 @@ ModelState NaiveDcStrategy::recover(const CheckpointStore& store,
   LOWDIFF_ENSURE(full_iter.has_value(), "no full checkpoint to recover from");
   ModelState state = store.read_full(*full_iter, spec);
 
-  // Collect naive diffs after the full checkpoint, in iteration order.
+  // Collect committed naive diffs after the full checkpoint, in iteration
+  // order (an uncommitted diff was torn mid-write — invisible by design).
   std::vector<std::pair<std::uint64_t, std::string>> diffs;
   for (const auto& key : store.backend().list()) {
     unsigned long long iter = 0;
-    if (std::sscanf(key.c_str(), "ndiff/%llu", &iter) == 1 && iter > *full_iter) {
+    if (std::sscanf(key.c_str(), "ndiff/%llu", &iter) == 1 && iter > *full_iter &&
+        is_committed(store.backend(), key)) {
       diffs.emplace_back(iter, key);
     }
   }
   std::sort(diffs.begin(), diffs.end());
 
   Tensor dense(spec.param_count());
+  Xoshiro256 rng(0x7ead5eed);
   for (const auto& [iter, key] : diffs) {
-    auto bytes = store.backend().read(key);
-    LOWDIFF_ENSURE(bytes.has_value(), "missing naive diff " + key);
+    auto bytes = committed_read(store.backend(), key, store.retry_policy(), rng);
+    LOWDIFF_ENSURE(bytes.ok(),
+                   "naive diff " + key + ": " + bytes.status().to_string());
     const NaiveDiffRecord rec = NaiveDiffRecord::deserialize(*bytes);
     compressor.decompress(rec.params_diff, dense.span());
     ops::axpy(1.0f, dense.cspan(), state.params().span());
@@ -265,7 +303,7 @@ LowDiffStrategy::LowDiffStrategy(std::shared_ptr<CheckpointStore> store,
                                  Options options)
     : store_(std::move(store)), options_(options),
       queue_(options.queue_capacity),
-      writer_(store_->backend_ptr(), /*max_pending=*/4) {
+      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/4)) {
   LOWDIFF_ENSURE(options_.batch_size >= 1, "batch size must be >= 1");
   LOWDIFF_ENSURE(options_.full_interval >= 1, "full interval must be >= 1");
   ckpt_thread_ = std::thread([this] { checkpointing_loop(); });
@@ -415,7 +453,9 @@ void LowDiffStrategy::flush() {
 
 StrategyStats LowDiffStrategy::stats() const {
   std::lock_guard lock(mutex_);
-  return stats_;
+  StrategyStats out = stats_;
+  out.write_retries = writer_.retries();
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -428,7 +468,7 @@ LowDiffPlusStrategy::LowDiffPlusStrategy(std::shared_ptr<CheckpointStore> store,
                                          Options options)
     : store_(std::move(store)), optimizer_(std::move(optimizer)),
       options_(options), queue_(options.queue_capacity),
-      writer_(store_->backend_ptr(), /*max_pending=*/2),
+      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/2)),
       replica_(init.clone()) {
   LOWDIFF_ENSURE(optimizer_ != nullptr, "null optimizer");
   LOWDIFF_ENSURE(options_.persist_interval >= 1, "persist interval must be >= 1");
@@ -523,7 +563,9 @@ void LowDiffPlusStrategy::flush() {
 
 StrategyStats LowDiffPlusStrategy::stats() const {
   std::lock_guard lock(replica_mutex_);
-  return stats_;
+  StrategyStats out = stats_;
+  out.write_retries = writer_.retries();
+  return out;
 }
 
 }  // namespace lowdiff

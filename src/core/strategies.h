@@ -34,6 +34,8 @@ struct StrategyStats {
   std::uint64_t full_ckpts = 0;
   std::uint64_t batched_writes = 0;
   std::uint64_t bytes_written = 0;
+  /// Storage retries performed by the strategy's background writer.
+  std::uint64_t write_retries = 0;
   std::size_t queue_high_watermark = 0;
   /// Peak bytes of checkpoint payloads resident on the "device" side
   /// (i.e., not yet offloaded to the CPU buffer) — Exp. 6(b).
@@ -125,6 +127,9 @@ class GeminiStrategy final : public CheckpointStrategy {
 
  private:
   std::shared_ptr<StorageBackend> memory_tier_;
+  /// Commit-protocol view over the memory tier, so in-memory checkpoints
+  /// are integrity-checked exactly like durable ones.
+  CheckpointStore tier_store_;
   std::shared_ptr<CheckpointStore> durable_;
   std::uint64_t interval_;
   std::uint64_t persist_interval_;

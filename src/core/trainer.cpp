@@ -16,8 +16,16 @@ Trainer::Trainer(MlpConfig mlp_config, TrainerConfig config)
     : net_(std::move(mlp_config)), config_(config),
       dataset_(net_.spec().layers.front().shape[1],  // fc0.weight is {out, in}
                net_.spec().layers.back().shape[0],   // last bias is {classes}
-               config.seed),
-      adam_(config.adam) {
+               config.seed) {
+  switch (config_.optimizer) {
+    case OptimizerKind::kAdam:
+      optimizer_ = std::make_unique<Adam>(config_.adam);
+      break;
+    case OptimizerKind::kSgd:
+      optimizer_ = std::make_unique<Sgd>(config_.sgd);
+      break;
+  }
+  LOWDIFF_ENSURE(optimizer_ != nullptr, "unknown optimizer kind");
   LOWDIFF_ENSURE(config_.world >= 1, "world must be >= 1");
   if (config_.rho <= 0.0) config_.compression = GradCompression::kDense;
   switch (config_.compression) {
@@ -124,7 +132,7 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
         merged.iteration = iter;
         payload = std::make_shared<const CompressedGrad>(std::move(merged));
         compressor_->decompress(*payload, dense.span());
-        adam_.step(state, dense.cspan());
+        optimizer_->step(state, dense.cspan());
       } else if (config_.compression == GradCompression::kQuant8) {
         // Quantized regime: synchronize densely, quantize the synchronized
         // gradient (bit-identical on every rank), and train on the
@@ -134,11 +142,11 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
         payload = std::make_shared<const CompressedGrad>(
             compressor_->compress(grad.cspan(), iter));
         compressor_->decompress(*payload, dense.span());
-        adam_.step(state, dense.cspan());
+        optimizer_->step(state, dense.cspan());
       } else {
         comm.allreduce_sum(rank, grad.span());
         ops::scale(grad.span(), 1.0f / static_cast<float>(config_.world));
-        adam_.step(state, grad.cspan());
+        optimizer_->step(state, grad.cspan());
         if (rank == 0 && (strategy != nullptr || layerwise != nullptr)) {
           DenseCompressor dense_comp;
           auto wrapped = dense_comp.compress(grad.cspan(), iter);

@@ -22,6 +22,7 @@
 #include "model/dataset.h"
 #include "model/mlp.h"
 #include "optim/adam.h"
+#include "optim/sgd.h"
 
 namespace lowdiff {
 
@@ -31,6 +32,13 @@ enum class GradCompression {
   kRandomK,  ///< random sparsification
   kQuant8,   ///< 8-bit block quantization (synced dense, then quantized)
   kDense,    ///< no compression — the LowDiff+ regime
+};
+
+/// Which optimizer drives the parameter updates (recovery must replay
+/// through the identical one — Finding 1).
+enum class OptimizerKind {
+  kAdam,
+  kSgd,
 };
 
 struct TrainerConfig {
@@ -43,7 +51,9 @@ struct TrainerConfig {
   /// Residual error feedback on the local gradient before compression
   /// (sparse schemes only).
   bool error_feedback = false;
-  AdamConfig adam{};
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  AdamConfig adam{};  ///< used when optimizer == kAdam
+  SgdConfig sgd{};    ///< used when optimizer == kSgd
   std::uint64_t seed = 42;
 };
 
@@ -82,6 +92,12 @@ class Trainer {
   double eval_loss(std::uint64_t batch_index = 1'000'000) const;
   double eval_accuracy(std::uint64_t batch_index = 1'000'000) const;
 
+  /// A fresh optimizer identical to the training one — what a recovery
+  /// engine must replay differentials through.
+  std::unique_ptr<Optimizer> make_optimizer() const {
+    return optimizer_->clone();
+  }
+
  private:
   MlpNet net_;
   TrainerConfig config_;
@@ -89,7 +105,7 @@ class Trainer {
   std::unique_ptr<Compressor> compressor_;
   std::vector<ModelState> states_;
   std::vector<std::unique_ptr<ErrorFeedback>> feedback_;
-  Adam adam_;
+  std::unique_ptr<Optimizer> optimizer_;
 };
 
 }  // namespace lowdiff

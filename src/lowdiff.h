@@ -19,6 +19,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -47,7 +48,9 @@
 #include "queue/reusing_queue.h"
 
 #include "storage/async_writer.h"
+#include "storage/atomic_commit.h"
 #include "storage/bandwidth.h"
+#include "storage/fault_injection.h"
 #include "storage/file_storage.h"
 #include "storage/mem_storage.h"
 #include "storage/serializer.h"

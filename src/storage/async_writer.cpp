@@ -2,15 +2,35 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "storage/atomic_commit.h"
 
 namespace lowdiff {
 
 AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend,
-                         std::size_t max_pending)
-    : backend_(std::move(backend)), queue_(max_pending) {
+                         Options options)
+    : backend_(std::move(backend)),
+      options_(options),
+      queue_(options.max_pending) {
   LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
   worker_ = std::thread([this] { run(); });
 }
+
+namespace {
+
+AsyncWriter::Options bounded_options(std::size_t max_pending) {
+  AsyncWriter::Options opt;
+  opt.max_pending = max_pending;
+  return opt;
+}
+
+}  // namespace
+
+AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend)
+    : AsyncWriter(std::move(backend), Options{}) {}
+
+AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend,
+                         std::size_t max_pending)
+    : AsyncWriter(std::move(backend), bounded_options(max_pending)) {}
 
 AsyncWriter::~AsyncWriter() { shutdown(); }
 
@@ -46,15 +66,31 @@ void AsyncWriter::shutdown() {
 }
 
 void AsyncWriter::run() {
+  // The worker thread owns the RNG exclusively; no locking needed.
+  Xoshiro256 rng(options_.seed);
   for (;;) {
     auto job = queue_.get();
     if (!job.has_value()) return;  // closed and drained
     const Job& j = **job;
     try {
-      backend_->write(j.key, j.bytes);
-      if (j.on_done) j.on_done();
+      std::uint64_t job_retries = 0;
+      const Status status =
+          options_.committed
+              ? committed_write(*backend_, j.key, j.bytes, options_.retry, rng,
+                                &job_retries)
+              : write_with_retry(*backend_, j.key, j.bytes, options_.retry,
+                                 rng, &job_retries);
+      retries_.fetch_add(job_retries, std::memory_order_relaxed);
+      if (status.ok()) {
+        if (j.on_done) j.on_done();
+      } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        LOWDIFF_LOG_ERROR("async write of '", j.key,
+                          "' failed: ", status.to_string());
+      }
     } catch (const std::exception& e) {
-      LOWDIFF_LOG_ERROR("async write of '", j.key, "' failed: ", e.what());
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      LOWDIFF_LOG_ERROR("async write of '", j.key, "' threw: ", e.what());
     }
     completed_.fetch_add(1, std::memory_order_release);
     flush_cv_.notify_all();

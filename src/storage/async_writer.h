@@ -9,6 +9,11 @@
 /// queue depth is bounded; a full queue back-pressures the submitter —
 /// exactly the condition under which frequent checkpointing starts stalling
 /// training (paper Challenge 2).
+///
+/// Writes are hardened: retryable storage faults are retried with bounded
+/// exponential backoff, and in committed mode each job runs the full
+/// write → sync → commit-marker protocol so a crash mid-job never leaves a
+/// visible torn checkpoint.
 
 #include <atomic>
 #include <functional>
@@ -16,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "common/retry.h"
 #include "queue/reusing_queue.h"
 #include "storage/backend.h"
 
@@ -26,13 +32,32 @@ class AsyncWriter {
   struct Job {
     std::string key;
     std::vector<std::byte> bytes;
-    /// Invoked on the writer thread after the write completes.
+    /// Invoked on the writer thread after the write *succeeds*.  Failed
+    /// jobs (retry budget exhausted) are counted, logged, and skipped.
     std::function<void()> on_done;
   };
 
-  /// `max_pending`: bound on queued jobs (0 = unbounded).
-  explicit AsyncWriter(std::shared_ptr<StorageBackend> backend,
-                       std::size_t max_pending = 0);
+  static constexpr std::size_t kDefaultMaxPending = 64;
+
+  struct Options {
+    /// Bound on queued jobs (0 = unbounded).  Unbounded is a foot-gun
+    /// under latency spikes — memory grows without back-pressure — so the
+    /// default is a finite depth.
+    std::size_t max_pending = kDefaultMaxPending;
+    RetryPolicy retry;
+    /// When true every job uses the atomic commit protocol
+    /// (write → sync → marker) instead of a bare write.
+    bool committed = false;
+    std::uint64_t seed = 0xa51dc0de;
+  };
+
+  AsyncWriter(std::shared_ptr<StorageBackend> backend, Options options);
+
+  /// All-defaults convenience (bounded queue, plain retried writes).
+  explicit AsyncWriter(std::shared_ptr<StorageBackend> backend);
+
+  /// Convenience: bound the queue, defaults for everything else.
+  AsyncWriter(std::shared_ptr<StorageBackend> backend, std::size_t max_pending);
 
   AsyncWriter(const AsyncWriter&) = delete;
   AsyncWriter& operator=(const AsyncWriter&) = delete;
@@ -57,15 +82,23 @@ class AsyncWriter {
   void shutdown();
 
   std::uint64_t completed_jobs() const { return completed_.load(); }
+  /// Jobs whose write failed even after retries (subset of completed).
+  std::uint64_t failed_jobs() const { return failed_.load(); }
+  /// Total retry attempts performed across all jobs.
+  std::uint64_t retries() const { return retries_.load(); }
   std::size_t pending_jobs() const { return queue_.size(); }
+  std::size_t max_pending() const { return options_.max_pending; }
 
  private:
   void run();
 
   std::shared_ptr<StorageBackend> backend_;
+  Options options_;
   ReusingQueue<Job> queue_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> retries_{0};
   std::mutex flush_mutex_;
   std::condition_variable flush_cv_;
   std::thread worker_;

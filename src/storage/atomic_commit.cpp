@@ -1,0 +1,124 @@
+#include "storage/atomic_commit.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "storage/serializer.h"
+
+namespace lowdiff {
+
+namespace {
+
+constexpr std::size_t kMarkerPayloadSize = sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+}  // namespace
+
+std::vector<std::byte> make_commit_marker(std::span<const std::byte> data) {
+  CommitRecord rec;
+  rec.data_len = data.size();
+  rec.data_crc = crc32c(data.data(), data.size());
+  std::vector<std::byte> payload(kMarkerPayloadSize);
+  std::memcpy(payload.data(), &rec.data_len, sizeof(rec.data_len));
+  std::memcpy(payload.data() + sizeof(rec.data_len), &rec.data_crc,
+              sizeof(rec.data_crc));
+  return frame(RecordType::kCommitMarker, payload);
+}
+
+Result<CommitRecord> parse_commit_marker(std::span<const std::byte> bytes) {
+  using R = Result<CommitRecord>;
+  try {
+    auto [type, payload] = unframe(bytes);
+    if (type != RecordType::kCommitMarker || payload.size() != kMarkerPayloadSize) {
+      return R(ErrorCode::kCorrupted, "commit marker has wrong type/shape");
+    }
+    CommitRecord rec;
+    std::memcpy(&rec.data_len, payload.data(), sizeof(rec.data_len));
+    std::memcpy(&rec.data_crc, payload.data() + sizeof(rec.data_len),
+                sizeof(rec.data_crc));
+    return rec;
+  } catch (const Error& e) {
+    return R(ErrorCode::kCorrupted,
+             std::string("commit marker unreadable: ") + e.what());
+  }
+}
+
+Status write_with_retry(StorageBackend& backend, const std::string& key,
+                        std::span<const std::byte> bytes,
+                        const RetryPolicy& policy, Xoshiro256& rng,
+                        std::uint64_t* retries_out) {
+  return run_with_retry(
+      policy, rng, [&] { return backend.write(key, bytes); }, retries_out);
+}
+
+Result<std::vector<std::byte>> read_with_retry(
+    const StorageBackend& backend, const std::string& key,
+    const RetryPolicy& policy, Xoshiro256& rng, std::uint64_t* retries_out) {
+  const int attempts = std::max(1, policy.max_attempts);
+  Result<std::vector<std::byte>> result(ErrorCode::kUnavailable, key);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retry_sleep(policy.delay_sec(attempt - 1, rng));
+      if (retries_out) ++*retries_out;
+    }
+    result = backend.read(key);
+    if (result.ok() || !result.status().retryable()) return result;
+  }
+  return Result<std::vector<std::byte>>(
+      ErrorCode::kExhausted, "read retry budget spent for " + key +
+                                 " — last: " + result.status().to_string());
+}
+
+Status committed_write(StorageBackend& backend, const std::string& key,
+                       std::span<const std::byte> bytes,
+                       const RetryPolicy& policy, Xoshiro256& rng,
+                       std::uint64_t* retries_out) {
+  if (Status st = write_with_retry(backend, key, bytes, policy, rng, retries_out);
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = backend.sync(); !st.ok()) return st;
+  const auto marker = make_commit_marker(bytes);
+  return write_with_retry(backend, commit_marker_key(key), marker, policy, rng,
+                          retries_out);
+}
+
+Result<std::vector<std::byte>> committed_read(
+    const StorageBackend& backend, const std::string& key,
+    const RetryPolicy& policy, Xoshiro256& rng, std::uint64_t* retries_out) {
+  using R = Result<std::vector<std::byte>>;
+  auto marker_bytes =
+      read_with_retry(backend, commit_marker_key(key), policy, rng, retries_out);
+  if (!marker_bytes.ok()) {
+    // No marker → the object was never committed; report absence, not
+    // corruption (a torn uncommitted write is invisible by design).
+    if (marker_bytes.status().code() == ErrorCode::kNotFound) {
+      return R(ErrorCode::kNotFound, "uncommitted: " + key);
+    }
+    return R(marker_bytes.status());
+  }
+  auto rec = parse_commit_marker(*marker_bytes);
+  if (!rec.ok()) return R(rec.status());
+
+  auto data = read_with_retry(backend, key, policy, rng, retries_out);
+  if (!data.ok()) {
+    if (data.status().code() == ErrorCode::kNotFound) {
+      return R(ErrorCode::kCorrupted, "committed but data missing: " + key);
+    }
+    return R(data.status());
+  }
+  if (data->size() != rec->data_len) {
+    return R(ErrorCode::kCorrupted,
+             "torn data for " + key + ": " + std::to_string(data->size()) +
+                 " bytes vs committed " + std::to_string(rec->data_len));
+  }
+  if (crc32c(data->data(), data->size()) != rec->data_crc) {
+    return R(ErrorCode::kCorrupted, "CRC mismatch for " + key);
+  }
+  return data;
+}
+
+bool is_committed(const StorageBackend& backend, const std::string& key) {
+  return backend.exists(commit_marker_key(key));
+}
+
+}  // namespace lowdiff

@@ -8,10 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/error.h"
 
 namespace lowdiff {
 
@@ -26,14 +27,22 @@ class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  /// Atomically replaces the object at `key`.
-  virtual void write(const std::string& key, std::span<const std::byte> bytes) = 0;
+  /// Atomically replaces the object at `key`.  Expected I/O failures are
+  /// reported as a non-ok Status (kTransient / kUnavailable); malformed
+  /// keys remain programming errors and throw.
+  virtual Status write(const std::string& key, std::span<const std::byte> bytes) = 0;
 
-  /// Returns the object, or std::nullopt if absent.
-  virtual std::optional<std::vector<std::byte>> read(const std::string& key) const = 0;
+  /// Returns the object, or a non-ok Status: kNotFound if absent,
+  /// kTransient/kUnavailable on I/O faults, kCorrupted on short reads.
+  virtual Result<std::vector<std::byte>> read(const std::string& key) const = 0;
 
   virtual bool exists(const std::string& key) const = 0;
   virtual void remove(const std::string& key) = 0;
+
+  /// Durability barrier (fsync analogue): returns once every write accepted
+  /// before the call is stable.  Default no-op for backends that are
+  /// synchronously durable.
+  virtual Status sync() { return {}; }
 
   /// All keys, lexicographically sorted (recovery scans the manifest).
   virtual std::vector<std::string> list() const = 0;

@@ -1,0 +1,120 @@
+#include "storage/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lowdiff {
+
+FaultInjectingStorage::FaultInjectingStorage(
+    std::shared_ptr<StorageBackend> inner, FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {
+  LOWDIFF_ENSURE(inner_ != nullptr, "null inner backend");
+}
+
+bool FaultInjectingStorage::roll(double rate) const {
+  if (!armed_ || rate <= 0.0) return false;
+  return rng_.uniform_double() < rate;
+}
+
+void FaultInjectingStorage::maybe_spike() const {
+  bool spike = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (roll(spec_.latency_spike_rate)) {
+      ++fault_stats_.latency_spikes;
+      spike = true;
+    }
+  }
+  if (spike && spec_.latency_spike_sec > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(spec_.latency_spike_sec));
+  }
+}
+
+Status FaultInjectingStorage::write(const std::string& key,
+                                    std::span<const std::byte> bytes) {
+  maybe_spike();
+  enum class Fault { kNone, kError, kTorn, kBitFlip };
+  Fault fault = Fault::kNone;
+  std::size_t torn_len = 0;
+  std::size_t flip_bit = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (roll(spec_.write_error_rate)) {
+      ++fault_stats_.write_errors;
+      fault = Fault::kError;
+    } else if (roll(spec_.torn_write_rate)) {
+      ++fault_stats_.torn_writes;
+      fault = Fault::kTorn;
+      torn_len = bytes.empty()
+                     ? 0
+                     : static_cast<std::size_t>(rng_.uniform_below(bytes.size()));
+    } else if (roll(spec_.bit_flip_rate)) {
+      ++fault_stats_.bit_flips;
+      fault = Fault::kBitFlip;
+      flip_bit = bytes.empty()
+                     ? 0
+                     : static_cast<std::size_t>(
+                           rng_.uniform_below(bytes.size() * 8));
+    }
+  }
+  switch (fault) {
+    case Fault::kNone:
+      return inner_->write(key, bytes);
+    case Fault::kError:
+      return Status(ErrorCode::kTransient, "injected write error: " + key);
+    case Fault::kTorn: {
+      // Crash mid-write: a prefix lands, then the call fails.
+      (void)inner_->write(key, bytes.subspan(0, torn_len));
+      return Status(ErrorCode::kTransient, "injected torn write: " + key);
+    }
+    case Fault::kBitFlip: {
+      std::vector<std::byte> corrupted(bytes.begin(), bytes.end());
+      if (!corrupted.empty()) {
+        corrupted[flip_bit / 8] ^= std::byte{1} << (flip_bit % 8);
+      }
+      return inner_->write(key, corrupted);  // silent corruption
+    }
+  }
+  return {};
+}
+
+Result<std::vector<std::byte>> FaultInjectingStorage::read(
+    const std::string& key) const {
+  maybe_spike();
+  {
+    std::lock_guard lock(mutex_);
+    if (roll(spec_.read_error_rate)) {
+      ++fault_stats_.read_errors;
+      return Result<std::vector<std::byte>>(
+          ErrorCode::kTransient, "injected read error: " + key);
+    }
+  }
+  return inner_->read(key);
+}
+
+bool FaultInjectingStorage::exists(const std::string& key) const {
+  return inner_->exists(key);
+}
+
+void FaultInjectingStorage::remove(const std::string& key) {
+  inner_->remove(key);
+}
+
+std::vector<std::string> FaultInjectingStorage::list() const {
+  return inner_->list();
+}
+
+StorageStats FaultInjectingStorage::stats() const { return inner_->stats(); }
+
+FaultStats FaultInjectingStorage::fault_stats() const {
+  std::lock_guard lock(mutex_);
+  return fault_stats_;
+}
+
+void FaultInjectingStorage::set_armed(bool armed) {
+  std::lock_guard lock(mutex_);
+  armed_ = armed;
+}
+
+}  // namespace lowdiff

@@ -36,32 +36,49 @@ fs::path FileStorage::path_for(const std::string& key) const {
   return root_ / sanitize(key);
 }
 
-void FileStorage::write(const std::string& key, std::span<const std::byte> bytes) {
+Status FileStorage::write(const std::string& key, std::span<const std::byte> bytes) {
   const fs::path target = path_for(key);
-  fs::create_directories(target.parent_path());
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+  if (ec) {
+    return Status(ErrorCode::kUnavailable,
+                  "mkdir " + target.parent_path().string() + ": " + ec.message());
+  }
   const fs::path tmp = target.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    LOWDIFF_ENSURE(out.good(), "cannot open " + tmp.string());
+    if (!out.good()) {
+      return Status(ErrorCode::kUnavailable, "cannot open " + tmp.string());
+    }
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
-    LOWDIFF_ENSURE(out.good(), "short write to " + tmp.string());
+    if (!out.good()) {
+      return Status(ErrorCode::kUnavailable, "short write to " + tmp.string());
+    }
   }
-  fs::rename(tmp, target);
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    return Status(ErrorCode::kUnavailable,
+                  "rename " + tmp.string() + ": " + ec.message());
+  }
   std::lock_guard lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += bytes.size();
+  return {};
 }
 
-std::optional<std::vector<std::byte>> FileStorage::read(const std::string& key) const {
+Result<std::vector<std::byte>> FileStorage::read(const std::string& key) const {
+  using R = Result<std::vector<std::byte>>;
   const fs::path target = path_for(key);
   std::ifstream in(target, std::ios::binary | std::ios::ate);
-  if (!in.good()) return std::nullopt;
+  if (!in.good()) return R(ErrorCode::kNotFound, target.string());
   const auto size = static_cast<std::size_t>(in.tellg());
   in.seekg(0);
   std::vector<std::byte> bytes(size);
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
-  LOWDIFF_ENSURE(in.good() || size == 0, "short read from " + target.string());
+  if (!in.good() && size != 0) {
+    return R(ErrorCode::kCorrupted, "short read from " + target.string());
+  }
   std::lock_guard lock(mutex_);
   ++stats_.reads;
   stats_.bytes_read += size;

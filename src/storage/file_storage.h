@@ -17,8 +17,8 @@ class FileStorage final : public StorageBackend {
   /// Creates `root` (and parents) if missing.
   explicit FileStorage(std::filesystem::path root);
 
-  void write(const std::string& key, std::span<const std::byte> bytes) override;
-  std::optional<std::vector<std::byte>> read(const std::string& key) const override;
+  Status write(const std::string& key, std::span<const std::byte> bytes) override;
+  Result<std::vector<std::byte>> read(const std::string& key) const override;
   bool exists(const std::string& key) const override;
   void remove(const std::string& key) override;
   std::vector<std::string> list() const override;

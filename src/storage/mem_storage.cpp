@@ -2,17 +2,20 @@
 
 namespace lowdiff {
 
-void MemStorage::write(const std::string& key, std::span<const std::byte> bytes) {
+Status MemStorage::write(const std::string& key, std::span<const std::byte> bytes) {
   std::lock_guard lock(mutex_);
   objects_[key].assign(bytes.begin(), bytes.end());
   ++stats_.writes;
   stats_.bytes_written += bytes.size();
+  return {};
 }
 
-std::optional<std::vector<std::byte>> MemStorage::read(const std::string& key) const {
+Result<std::vector<std::byte>> MemStorage::read(const std::string& key) const {
   std::lock_guard lock(mutex_);
   auto it = objects_.find(key);
-  if (it == objects_.end()) return std::nullopt;
+  if (it == objects_.end()) {
+    return Result<std::vector<std::byte>>(ErrorCode::kNotFound, key);
+  }
   ++stats_.reads;
   stats_.bytes_read += it->second.size();
   return it->second;

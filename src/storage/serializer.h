@@ -25,6 +25,7 @@ enum class RecordType : std::uint8_t {
   kBatchedDiff = 3,     ///< batched differential checkpoint C^B
   kNaiveDiff = 4,       ///< Check-N-Run style state differential
   kFullShard = 5,       ///< one rank's slice of a sharded full checkpoint
+  kCommitMarker = 6,    ///< manifest commit record: {data_len, data_crc32c}
 };
 
 /// Wraps a payload in the framed format.

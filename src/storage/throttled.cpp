@@ -11,13 +11,13 @@ ThrottledStorage::ThrottledStorage(std::shared_ptr<StorageBackend> inner,
   LOWDIFF_ENSURE(inner_ != nullptr, "null inner backend");
 }
 
-void ThrottledStorage::write(const std::string& key,
-                             std::span<const std::byte> bytes) {
+Status ThrottledStorage::write(const std::string& key,
+                               std::span<const std::byte> bytes) {
   throttler_->acquire(bytes.size());
-  inner_->write(key, bytes);
+  return inner_->write(key, bytes);
 }
 
-std::optional<std::vector<std::byte>> ThrottledStorage::read(
+Result<std::vector<std::byte>> ThrottledStorage::read(
     const std::string& key) const {
   auto result = inner_->read(key);
   if (result.has_value()) throttler_->acquire(result->size());

@@ -17,12 +17,13 @@ class ThrottledStorage final : public StorageBackend {
   ThrottledStorage(std::shared_ptr<StorageBackend> inner, LinkSpec link,
                    double time_scale = 1.0);
 
-  void write(const std::string& key, std::span<const std::byte> bytes) override;
-  std::optional<std::vector<std::byte>> read(const std::string& key) const override;
+  Status write(const std::string& key, std::span<const std::byte> bytes) override;
+  Result<std::vector<std::byte>> read(const std::string& key) const override;
   bool exists(const std::string& key) const override;
   void remove(const std::string& key) override;
   std::vector<std::string> list() const override;
   StorageStats stats() const override;
+  Status sync() override { return inner_->sync(); }
 
   /// Modeled seconds the storage link has been busy (steady-state
   /// checkpointing overhead measurements read this).

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/logging.h"
+#include "compress/topk.h"
+#include "core/recovery.h"
+#include "core/trainer.h"
+#include "sim/failure.h"
+#include "storage/fault_injection.h"
+#include "storage/mem_storage.h"
+
+namespace lowdiff {
+namespace {
+
+/// Crash harness: kill training at randomized points (sampled from
+/// sim::FailureModel, the paper's Poisson failure process), restart a fresh
+/// "process", recover from the checkpoint store, resume — and require the
+/// final state to be bit-exact against an uninterrupted run.  Then the same
+/// end-to-end loop under injected silent bit flips: every corrupt record
+/// recovery encounters must be detected by CRC and degraded around, never
+/// thrown on and never silently consumed.
+
+constexpr std::uint64_t kTotalIters = 40;
+constexpr double kRho = 0.05;
+
+MlpConfig mlp() {
+  MlpConfig cfg;
+  cfg.input_dim = 10;
+  cfg.hidden = {20, 16};
+  cfg.num_classes = 5;
+  return cfg;
+}
+
+TrainerConfig harness_cfg(OptimizerKind kind) {
+  TrainerConfig cfg;
+  cfg.world = 2;
+  cfg.batch_size = 16;
+  cfg.rho = kRho;
+  cfg.optimizer = kind;
+  cfg.adam.lr = 4e-3f;
+  cfg.sgd.lr = 1e-2f;
+  cfg.sgd.momentum = 0.9f;
+  cfg.seed = 123;
+  return cfg;
+}
+
+LowDiffStrategy::Options strategy_opt() {
+  LowDiffStrategy::Options opt;
+  opt.batch_size = 3;
+  opt.full_interval = 5;
+  return opt;
+}
+
+class CrashHarness : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(CrashHarness, RandomizedKillPointsRecoverBitExact) {
+  const TrainerConfig cfg = harness_cfg(GetParam());
+
+  // Uninterrupted reference run.
+  Trainer reference(mlp(), cfg);
+  reference.run(0, kTotalIters, nullptr);
+
+  // Kill points drawn from the simulator's failure process.
+  sim::FailureModel failures(
+      /*mtbf_sec=*/15.0,
+      /*seed=*/GetParam() == OptimizerKind::kAdam ? 101 : 202);
+
+  int recoveries = 0;
+  const int kKillPoints = 20;
+  for (int k = 0; k < kKillPoints; ++k) {
+    const std::uint64_t kill =
+        1 + static_cast<std::uint64_t>(failures.next().time) % (kTotalIters - 1);
+
+    auto store = std::make_shared<CheckpointStore>(std::make_shared<MemStorage>());
+    Trainer crashed(mlp(), cfg);
+    {
+      auto strategy = std::make_unique<LowDiffStrategy>(store, strategy_opt());
+      crashed.run(0, kill, strategy.get());
+    }  // destructor without flush(): the crash; a partial batch may be lost
+
+    // Fresh "process": recover whatever is durable and finish the job.
+    Trainer resumed(mlp(), cfg);
+    std::uint64_t position = 0;
+    if (!store->fulls().empty()) {
+      RecoveryEngine engine(resumed.spec(), resumed.make_optimizer(),
+                            TopKCompressor(kRho).clone());
+      RecoveryReport report;
+      const ModelState recovered = engine.recover_serial(*store, &report);
+      ASSERT_LT(report.final_iteration, kill) << "kill=" << kill;
+      EXPECT_EQ(report.corrupt_diffs_skipped, 0u);
+      EXPECT_EQ(report.corrupt_fulls_skipped, 0u);
+      position = report.final_iteration + 1;
+      resumed.set_state(recovered);
+      ++recoveries;
+    }  // else: crashed before the first full checkpoint — restart from scratch
+    resumed.run(position, kTotalIters - position, nullptr);
+
+    ASSERT_TRUE(resumed.state(0).bit_equal(reference.state(0)))
+        << "kill point " << kill << " broke bit-exactness";
+  }
+  // The sampled kill points must actually exercise recovery, not just
+  // from-scratch restarts.
+  EXPECT_GE(recoveries, kKillPoints / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, CrashHarness,
+                         ::testing::Values(OptimizerKind::kAdam,
+                                           OptimizerKind::kSgd),
+                         [](const auto& info) {
+                           return info.param == OptimizerKind::kAdam ? "Adam"
+                                                                     : "Sgd";
+                         });
+
+// --- corruption-aware recovery ------------------------------------------------
+
+TEST(FaultTolerance, CorruptDiffTruncatesReplayAndIsCounted) {
+  auto mem = std::make_shared<MemStorage>();
+  auto store = std::make_shared<CheckpointStore>(mem);
+  const TrainerConfig cfg = harness_cfg(OptimizerKind::kAdam);
+
+  Trainer trainer(mlp(), cfg);
+  LowDiffStrategy::Options opt;
+  opt.batch_size = 2;
+  opt.full_interval = 8;
+  {
+    auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
+    trainer.run(0, 20, strategy.get());
+    strategy->flush();
+  }
+  // Fulls at 7 and 15; diff batches [16,17] and [18,19] follow the latest.
+  ASSERT_EQ(*store->latest_full(), 15u);
+  const auto diffs = store->diffs_after(15);
+  ASSERT_EQ(diffs.size(), 4u);
+
+  // Silently flip one bit in the *second* batch, bypassing the commit
+  // protocol (the marker still promises the original CRC).
+  const auto key = CheckpointStore::batch_key(18, 19);
+  auto bytes = *mem->read(key);
+  bytes[bytes.size() / 3] ^= std::byte{0x04};
+  mem->write(key, bytes);
+
+  RecoveryEngine engine(trainer.spec(), trainer.make_optimizer(),
+                        TopKCompressor(kRho).clone());
+  RecoveryReport report;
+  const ModelState recovered = engine.recover_serial(*store, &report);
+
+  // Both members of the corrupt batch are detected; the replay stops at the
+  // last iteration before the damage instead of consuming bad state.
+  EXPECT_EQ(report.corrupt_diffs_skipped, 2u);
+  EXPECT_EQ(report.diffs_replayed, 2u);
+  EXPECT_EQ(report.final_iteration, 17u);
+
+  Trainer replay(mlp(), cfg);
+  replay.run(0, 18, nullptr);
+  EXPECT_TRUE(recovered.bit_equal(replay.state(0)));
+}
+
+TEST(FaultTolerance, InjectedBitFlipsAllDetectedAndDegraded) {
+  FaultSpec spec;
+  spec.bit_flip_rate = 0.15;
+  spec.seed = 31;
+  auto mem = std::make_shared<MemStorage>();
+  auto faulty = std::make_shared<FaultInjectingStorage>(mem, spec);
+  auto store = std::make_shared<CheckpointStore>(faulty);
+  const TrainerConfig cfg = harness_cfg(OptimizerKind::kAdam);
+
+  set_log_level(LogLevel::kOff);  // recovery legitimately logs each corrupt record
+  Trainer trainer(mlp(), cfg);
+  LowDiffStrategy::Options opt;
+  opt.batch_size = 2;
+  opt.full_interval = 8;
+  {
+    auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
+    trainer.run(0, 30, strategy.get());
+    strategy->flush();
+  }
+  ASSERT_GT(faulty->fault_stats().bit_flips, 0u)
+      << "seed produced no corruption; the test would be vacuous";
+  faulty->set_armed(false);  // the storage medium is quiet during recovery
+
+  // Ground truth from the manifest: which records does a scan actually find
+  // corrupt?  Recovery must report exactly these — no more, no fewer.
+  std::uint64_t expected_bad_fulls = 0;
+  std::optional<std::uint64_t> base;
+  const auto fulls = store->fulls();
+  for (auto it = fulls.rbegin(); it != fulls.rend(); ++it) {
+    if (store->try_read_full(*it, trainer.spec()).ok()) {
+      base = *it;
+      break;
+    }
+    ++expected_bad_fulls;
+  }
+  ASSERT_TRUE(base.has_value()) << "every full corrupt; pick another seed";
+  std::uint64_t expected_bad_diffs = 0;
+  for (std::uint64_t iter : store->diffs_after(*base)) {
+    if (!store->try_read_diff(iter).ok()) ++expected_bad_diffs;
+  }
+
+  RecoveryEngine engine(trainer.spec(), trainer.make_optimizer(),
+                        TopKCompressor(kRho).clone());
+  RecoveryReport report;
+  ModelState recovered(trainer.spec());
+  // The headline requirement: corruption degrades, it does not throw.
+  ASSERT_NO_THROW(recovered = engine.recover_serial(*store, &report));
+
+  EXPECT_EQ(report.full_iteration, *base);
+  EXPECT_EQ(report.corrupt_fulls_skipped, expected_bad_fulls);
+  EXPECT_EQ(report.corrupt_diffs_skipped, expected_bad_diffs);
+
+  // Whatever prefix survived, it is a *correct* prefix.
+  Trainer replay(mlp(), cfg);
+  replay.run(0, report.final_iteration + 1, nullptr);
+  EXPECT_TRUE(recovered.bit_equal(replay.state(0)));
+  set_log_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace lowdiff

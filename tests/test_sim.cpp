@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "sim/cluster.h"
 #include "sim/failure.h"
@@ -393,6 +395,40 @@ TEST(FailureModel, SoftwareFractionRespected) {
     if (fm.next().type == FailureType::kSoftware) ++software;
   }
   EXPECT_NEAR(static_cast<double>(software) / n, 0.8, 0.02);
+}
+
+TEST(FailureModel, SoftwareFractionBoundaries) {
+  // fraction = 0: every failure is a hardware failure; fraction = 1: all
+  // software.  The boundaries must be exact, not just probable.
+  FailureModel none(100.0, 13, 0.0);
+  FailureModel all(100.0, 13, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(none.next().type, FailureType::kHardware);
+    EXPECT_EQ(all.next().type, FailureType::kSoftware);
+  }
+}
+
+TEST(FailureModel, InterArrivalTimesArePositiveAndSpread) {
+  FailureModel fm(250.0, 21);
+  double min_t = 1e30, max_t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = fm.next().time;
+    EXPECT_GE(t, 0.0);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  // An exponential with mean 250 s should show both short and long gaps.
+  EXPECT_LT(min_t, 25.0);
+  EXPECT_GT(max_t, 500.0);
+}
+
+TEST(FailureModel, DifferentSeedsDiverge) {
+  FailureModel a(1000.0, 7), b(1000.0, 8);
+  bool diverged = false;
+  for (int i = 0; i < 10 && !diverged; ++i) {
+    diverged = a.next().time != b.next().time;
+  }
+  EXPECT_TRUE(diverged);
 }
 
 // --- failure-injected runs -------------------------------------------------------------

@@ -4,17 +4,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <filesystem>
 #include <thread>
 
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "compress/topk.h"
 #include "model/model_state.h"
 #include "storage/async_writer.h"
+#include "storage/atomic_commit.h"
 #include "storage/bandwidth.h"
+#include "storage/fault_injection.h"
 #include "storage/file_storage.h"
 #include "storage/mem_storage.h"
 #include "storage/serializer.h"
@@ -311,11 +315,11 @@ namespace {
 /// Backend that fails every write — exercises the async writer's error path.
 class FailingStorage final : public StorageBackend {
  public:
-  void write(const std::string&, std::span<const std::byte>) override {
-    throw Error("disk on fire", std::source_location::current());
+  Status write(const std::string& key, std::span<const std::byte>) override {
+    return Status(ErrorCode::kUnavailable, "disk on fire: " + key);
   }
-  std::optional<std::vector<std::byte>> read(const std::string&) const override {
-    return std::nullopt;
+  Result<std::vector<std::byte>> read(const std::string& key) const override {
+    return Result<std::vector<std::byte>>(ErrorCode::kNotFound, key);
   }
   bool exists(const std::string&) const override { return false; }
   void remove(const std::string&) override {}
@@ -323,15 +327,38 @@ class FailingStorage final : public StorageBackend {
   StorageStats stats() const override { return {}; }
 };
 
+AsyncWriter::Options fast_retry_options() {
+  AsyncWriter::Options opt;
+  opt.retry.base_delay_sec = 1e-6;
+  opt.retry.max_delay_sec = 1e-5;
+  return opt;
+}
+
 TEST(AsyncWriter, SurvivesBackendFailures) {
   auto failing = std::make_shared<FailingStorage>();
-  AsyncWriter writer(failing);
+  AsyncWriter writer(failing, fast_retry_options());
   set_log_level(LogLevel::kOff);  // silence the expected error lines
   for (int i = 0; i < 5; ++i) {
     EXPECT_TRUE(writer.submit("k" + std::to_string(i), std::vector<std::byte>(8)));
   }
   writer.flush();  // must not hang or crash
   EXPECT_EQ(writer.completed_jobs(), 5u);
+  EXPECT_EQ(writer.failed_jobs(), 5u);
+  // kUnavailable is retryable: every job burned its full retry budget.
+  const auto budget =
+      static_cast<std::uint64_t>(fast_retry_options().retry.max_attempts - 1);
+  EXPECT_EQ(writer.retries(), 5u * budget);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(AsyncWriter, OnDoneSkippedOnFailure) {
+  auto failing = std::make_shared<FailingStorage>();
+  AsyncWriter writer(failing, fast_retry_options());
+  set_log_level(LogLevel::kOff);
+  std::atomic<int> done{0};
+  writer.submit("k", bytes_of("v"), [&done] { ++done; });
+  writer.flush();
+  EXPECT_EQ(done.load(), 0) << "on_done must not run for a failed write";
   set_log_level(LogLevel::kWarn);
 }
 
@@ -351,6 +378,315 @@ TEST(Serializer, EmptyKeyRejectedByFileStorage) {
   FileStorage fs(dir);
   EXPECT_THROW(fs.write("", std::vector<std::byte>(1)), Error);
   std::filesystem::remove_all(dir);
+}
+
+// --- retry policy -------------------------------------------------------------
+
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.base_delay_sec = 1e-6;
+  p.max_delay_sec = 1e-5;
+  return p;
+}
+
+TEST(RetryPolicy, DelayGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.base_delay_sec = 1e-3;
+  p.multiplier = 2.0;
+  p.max_delay_sec = 4e-3;
+  p.jitter = 0.5;
+  Xoshiro256 rng(7);
+  for (int retry = 0; retry < 8; ++retry) {
+    double expected = p.base_delay_sec;
+    for (int i = 0; i < retry; ++i) expected *= p.multiplier;
+    expected = std::min(expected, p.max_delay_sec);
+    const double d = p.delay_sec(retry, rng);
+    EXPECT_GE(d, expected * (1.0 - p.jitter) - 1e-12) << "retry " << retry;
+    EXPECT_LE(d, expected * (1.0 + p.jitter) + 1e-12) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterIsDeterministic) {
+  RetryPolicy p;
+  p.base_delay_sec = 2e-3;
+  p.jitter = 0.0;
+  Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(p.delay_sec(0, rng), 2e-3);
+  EXPECT_DOUBLE_EQ(p.delay_sec(1, rng), 4e-3);
+}
+
+TEST(RunWithRetry, SucceedsAfterTransientFailures) {
+  Xoshiro256 rng(3);
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const Status s = run_with_retry(
+      fast_policy(), rng,
+      [&calls] {
+        return ++calls < 3 ? Status(ErrorCode::kTransient, "blip") : Status{};
+      },
+      &retries);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RunWithRetry, ExhaustsBudgetOnPersistentFailure) {
+  Xoshiro256 rng(3);
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const Status s = run_with_retry(
+      fast_policy(), rng,
+      [&calls] {
+        ++calls;
+        return Status(ErrorCode::kUnavailable, "down");
+      },
+      &retries);
+  EXPECT_EQ(s.code(), ErrorCode::kExhausted);
+  EXPECT_EQ(calls, fast_policy().max_attempts);
+  EXPECT_EQ(retries, static_cast<std::uint64_t>(fast_policy().max_attempts - 1));
+}
+
+TEST(RunWithRetry, NonRetryableReturnsImmediately) {
+  Xoshiro256 rng(3);
+  int calls = 0;
+  const Status s = run_with_retry(fast_policy(), rng, [&calls] {
+    ++calls;
+    return Status(ErrorCode::kCorrupted, "bad crc");
+  });
+  EXPECT_EQ(s.code(), ErrorCode::kCorrupted);
+  EXPECT_EQ(calls, 1);
+}
+
+// --- fault injection ----------------------------------------------------------
+
+TEST(FaultInjection, DefaultSpecIsTransparent) {
+  auto mem = std::make_shared<MemStorage>();
+  FaultInjectingStorage faulty(mem, FaultSpec{});
+  EXPECT_TRUE(faulty.write("k", bytes_of("v")).ok());
+  ASSERT_TRUE(faulty.read("k").has_value());
+  EXPECT_EQ(*faulty.read("k"), bytes_of("v"));
+  EXPECT_EQ(faulty.fault_stats().total(), 0u);
+}
+
+TEST(FaultInjection, DeterministicGivenSeed) {
+  FaultSpec spec;
+  spec.write_error_rate = 0.3;
+  spec.seed = 99;
+  std::vector<ErrorCode> first, second;
+  for (auto* codes : {&first, &second}) {
+    FaultInjectingStorage faulty(std::make_shared<MemStorage>(), spec);
+    for (int i = 0; i < 100; ++i) {
+      codes->push_back(faulty.write("k" + std::to_string(i), bytes_of("v")).code());
+    }
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(std::count(first.begin(), first.end(), ErrorCode::kTransient) > 0);
+  EXPECT_TRUE(std::count(first.begin(), first.end(), ErrorCode::kOk) > 0);
+}
+
+TEST(FaultInjection, WriteErrorLeavesNothingBehind) {
+  FaultSpec spec;
+  spec.write_error_rate = 1.0;
+  auto mem = std::make_shared<MemStorage>();
+  FaultInjectingStorage faulty(mem, spec);
+  const Status s = faulty.write("k", bytes_of("data"));
+  EXPECT_EQ(s.code(), ErrorCode::kTransient);
+  EXPECT_TRUE(s.retryable());
+  EXPECT_FALSE(mem->exists("k"));
+  EXPECT_EQ(faulty.fault_stats().write_errors, 1u);
+}
+
+TEST(FaultInjection, TornWriteLeavesPartialPrefix) {
+  FaultSpec spec;
+  spec.torn_write_rate = 1.0;
+  auto mem = std::make_shared<MemStorage>();
+  FaultInjectingStorage faulty(mem, spec);
+  const auto payload = std::vector<std::byte>(64, std::byte{0xAB});
+  EXPECT_EQ(faulty.write("k", payload).code(), ErrorCode::kTransient);
+  auto landed = mem->read("k");
+  ASSERT_TRUE(landed.has_value());
+  EXPECT_LT(landed->size(), payload.size());
+  EXPECT_TRUE(std::equal(landed->begin(), landed->end(), payload.begin()));
+  EXPECT_EQ(faulty.fault_stats().torn_writes, 1u);
+}
+
+TEST(FaultInjection, BitFlipIsSilent) {
+  FaultSpec spec;
+  spec.bit_flip_rate = 1.0;
+  auto mem = std::make_shared<MemStorage>();
+  FaultInjectingStorage faulty(mem, spec);
+  const auto payload = std::vector<std::byte>(32, std::byte{0});
+  EXPECT_TRUE(faulty.write("k", payload).ok()) << "bit flips must look like success";
+  const auto landed = *mem->read("k");
+  ASSERT_EQ(landed.size(), payload.size());
+  int bits_differing = 0;
+  for (std::size_t i = 0; i < landed.size(); ++i) {
+    bits_differing += std::popcount(std::to_integer<unsigned>(landed[i]));
+  }
+  EXPECT_EQ(bits_differing, 1);
+  EXPECT_EQ(faulty.fault_stats().bit_flips, 1u);
+}
+
+TEST(FaultInjection, ReadErrorsAndDisarm) {
+  FaultSpec spec;
+  spec.read_error_rate = 1.0;
+  auto mem = std::make_shared<MemStorage>();
+  FaultInjectingStorage faulty(mem, spec);
+  ASSERT_TRUE(faulty.write("k", bytes_of("v")).ok());
+  EXPECT_EQ(faulty.read("k").status().code(), ErrorCode::kTransient);
+  faulty.set_armed(false);  // recovery phase reads cleanly
+  ASSERT_TRUE(faulty.read("k").has_value());
+  EXPECT_EQ(*faulty.read("k"), bytes_of("v"));
+}
+
+TEST(FaultInjection, LatencySpikeStalls) {
+  FaultSpec spec;
+  spec.latency_spike_rate = 1.0;
+  spec.latency_spike_sec = 0.02;
+  FaultInjectingStorage faulty(std::make_shared<MemStorage>(), spec);
+  Stopwatch sw;
+  EXPECT_TRUE(faulty.write("k", bytes_of("v")).ok());
+  EXPECT_GE(sw.elapsed_sec(), 0.015);
+  EXPECT_EQ(faulty.fault_stats().latency_spikes, 1u);
+}
+
+// --- atomic commit ------------------------------------------------------------
+
+TEST(AtomicCommit, CommittedRoundTrip) {
+  MemStorage mem;
+  Xoshiro256 rng(1);
+  std::uint64_t retries = 0;
+  ASSERT_TRUE(
+      committed_write(mem, "ckpt", bytes_of("payload"), fast_policy(), rng, &retries)
+          .ok());
+  EXPECT_EQ(retries, 0u);
+  EXPECT_TRUE(is_committed(mem, "ckpt"));
+  auto back = committed_read(mem, "ckpt", fast_policy(), rng);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes_of("payload"));
+}
+
+TEST(AtomicCommit, UncommittedDataIsInvisible) {
+  MemStorage mem;
+  Xoshiro256 rng(1);
+  mem.write("ckpt", bytes_of("torn and never committed"));
+  EXPECT_FALSE(is_committed(mem, "ckpt"));
+  EXPECT_EQ(committed_read(mem, "ckpt", fast_policy(), rng).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(AtomicCommit, TornDataDetectedByLength) {
+  MemStorage mem;
+  Xoshiro256 rng(1);
+  ASSERT_TRUE(committed_write(mem, "ckpt", bytes_of("full payload"), fast_policy(),
+                              rng)
+                  .ok());
+  mem.write("ckpt", bytes_of("full"));  // data later torn down to a prefix
+  EXPECT_EQ(committed_read(mem, "ckpt", fast_policy(), rng).status().code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST(AtomicCommit, BitFlipDetectedByCrc) {
+  MemStorage mem;
+  Xoshiro256 rng(1);
+  auto payload = bytes_of("bits will rot");
+  ASSERT_TRUE(committed_write(mem, "ckpt", payload, fast_policy(), rng).ok());
+  payload[5] ^= std::byte{0x10};
+  mem.write("ckpt", payload);  // same length, one bit flipped
+  EXPECT_EQ(committed_read(mem, "ckpt", fast_policy(), rng).status().code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST(AtomicCommit, CorruptMarkerDetected) {
+  MemStorage mem;
+  Xoshiro256 rng(1);
+  ASSERT_TRUE(committed_write(mem, "ckpt", bytes_of("x"), fast_policy(), rng).ok());
+  mem.write(commit_marker_key("ckpt"), bytes_of("garbage marker"));
+  EXPECT_EQ(committed_read(mem, "ckpt", fast_policy(), rng).status().code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST(AtomicCommit, MarkerKeysRoundTrip) {
+  EXPECT_EQ(commit_marker_key("full/3"), "commit/full/3");
+  EXPECT_TRUE(is_commit_marker("commit/full/3"));
+  EXPECT_FALSE(is_commit_marker("full/3"));
+  EXPECT_EQ(data_key_of_marker("commit/full/3"), "full/3");
+}
+
+TEST(AtomicCommit, RetriesThroughInjectedTransients) {
+  FaultSpec spec;
+  spec.write_error_rate = 0.4;
+  spec.seed = 11;
+  FaultInjectingStorage faulty(std::make_shared<MemStorage>(), spec);
+  Xoshiro256 rng(5);
+  RetryPolicy policy = fast_policy();
+  policy.max_attempts = 12;
+  std::uint64_t retries = 0;
+  const Status s = committed_write(faulty, "ckpt", bytes_of("persist me"), policy,
+                                   rng, &retries);
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  EXPECT_GT(retries, 0u);
+  auto back = committed_read(faulty, "ckpt", policy, rng);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes_of("persist me"));
+}
+
+// --- async writer races -------------------------------------------------------
+
+TEST(AsyncWriter, DefaultQueueIsBounded) {
+  AsyncWriter writer(std::make_shared<MemStorage>());
+  EXPECT_EQ(writer.max_pending(), AsyncWriter::kDefaultMaxPending);
+  EXPECT_GT(writer.max_pending(), 0u) << "unbounded default is a foot-gun";
+}
+
+TEST(AsyncWriter, FlushDuringShutdownDoesNotHang) {
+  auto mem = std::make_shared<MemStorage>();
+  AsyncWriter writer(mem);
+  std::atomic<std::uint64_t> accepted{0};
+  std::thread submitter([&] {
+    for (int i = 0; i < 200; ++i) {
+      if (writer.submit("k" + std::to_string(i), bytes_of("x"))) {
+        accepted.fetch_add(1);
+      }
+    }
+  });
+  std::thread flusher([&] {
+    for (int i = 0; i < 50; ++i) writer.flush();
+  });
+  writer.shutdown();
+  submitter.join();
+  flusher.join();
+  writer.flush();  // post-shutdown flush must return immediately
+  EXPECT_EQ(writer.completed_jobs(), accepted.load());
+  EXPECT_EQ(mem->list().size(), accepted.load());
+}
+
+TEST(AsyncWriter, SubmitAfterShutdownRace) {
+  AsyncWriter writer(std::make_shared<MemStorage>());
+  std::thread submitter([&] {
+    for (int i = 0; i < 1000; ++i) {
+      writer.submit("k" + std::to_string(i), bytes_of("x"));
+    }
+  });
+  writer.shutdown();
+  submitter.join();
+  // Every accepted job completed; later submits were cleanly rejected.
+  EXPECT_FALSE(writer.submit("late", bytes_of("x")));
+  EXPECT_EQ(writer.failed_jobs(), 0u);
+}
+
+TEST(AsyncWriter, CommittedModeWritesMarkers) {
+  auto mem = std::make_shared<MemStorage>();
+  AsyncWriter::Options opt = fast_retry_options();
+  opt.committed = true;
+  {
+    AsyncWriter writer(mem, opt);
+    writer.submit("full/0", bytes_of("state"));
+    writer.flush();
+  }
+  EXPECT_TRUE(is_committed(*mem, "full/0"));
+  Xoshiro256 rng(1);
+  EXPECT_EQ(*committed_read(*mem, "full/0", fast_policy(), rng), bytes_of("state"));
 }
 
 }  // namespace
