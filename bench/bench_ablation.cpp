@@ -27,7 +27,8 @@ double overhead(const ClusterSpec& cluster, const Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_ablation", "design-choice ablations (DESIGN.md)");
 
   const ClusterSpec cluster;
@@ -157,5 +158,6 @@ int main() {
     table.row("naive: FCF=2000, BS=64", bench::Table::fmt(wasted(2000, 64)));
     table.emit();
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

@@ -30,7 +30,8 @@ constexpr double kPerWriteFixedSec = 8e-3;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_batching",
                 "Fig. 13 (Exp. 6) — batched writes & offloaded batching");
 
@@ -132,5 +133,6 @@ int main() {
     }
     table.emit();
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

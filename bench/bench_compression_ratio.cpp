@@ -18,7 +18,8 @@ using namespace lowdiff::sim;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_compression_ratio",
                 "Fig. 14 (Exp. 8) — checkpoint frequency vs rho");
 
@@ -39,5 +40,6 @@ int main() {
               std::to_string(large));
   }
   table.emit();
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

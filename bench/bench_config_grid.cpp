@@ -26,7 +26,8 @@ using namespace lowdiff::sim;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_config_grid", "Table I — wasted time vs (FCF, BS)");
 
   const ClusterSpec cluster;
@@ -119,5 +120,6 @@ int main() {
     table.row("BS* (differentials)", std::to_string(iter_cfg.batch_size));
     table.emit();
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

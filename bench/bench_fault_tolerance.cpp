@@ -52,7 +52,8 @@ RetryPolicy fast_policy() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   set_log_level(LogLevel::kOff);  // expected fault/corruption log lines
 
   bench::header("bench_fault_tolerance",
@@ -160,5 +161,6 @@ int main() {
     table.emit();
   }
 
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

@@ -34,7 +34,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_live_validation",
                 "live engine vs simulator — Exp. 1 ordering on real bytes");
 
@@ -98,5 +99,6 @@ int main() {
       rows[1].wall_ms < rows[2].wall_ms && rows[2].wall_ms <= rows[3].wall_ms * 1.2;
   std::cout << "\nsimulator-predicted ordering (LowDiff < CheckFreq <= TorchSave) "
             << (ordering_holds ? "HOLDS" : "VIOLATED") << " on live bytes\n";
+  lowdiff::bench::dump_registry_json();
   return ordering_holds ? 0 : 1;
 }

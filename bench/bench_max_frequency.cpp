@@ -22,7 +22,8 @@ constexpr double kBound = 0.035;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_max_frequency",
                 "Fig. 11 (Exp. 4) — max checkpoint frequency @ 3.5% bound");
 
@@ -78,5 +79,6 @@ int main() {
   std::cout << "\n*PCcheck (PMEM checkpointing, related work) is our\n"
                "extension beyond the paper's figure; its ~10-iteration\n"
                "interval matches the PCcheck paper's own claim.\n";
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

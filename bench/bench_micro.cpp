@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "compress/error_feedback.h"
 #include "core/checkpoint_store.h"
 #include "model/dataset.h"
@@ -124,6 +127,72 @@ void BM_ReusingQueueHandoff(benchmark::State& state) {
 }
 BENCHMARK(BM_ReusingQueueHandoff);
 
+// --- Observability overhead (the "<1% when disabled" acceptance bar) ------
+
+void BM_ReusingQueueHandoffInstrumented(benchmark::State& state) {
+  // Same handoff as above, with the occupancy gauge and blocked-time
+  // counter attached — the delta between the two is the metrics cost.
+  ReusingQueue<CompressedGrad> queue(64);
+  auto& reg = obs::Registry::global();
+  queue.set_obs({&reg.gauge("bench.queue.occupancy"),
+                 &reg.counter("bench.queue.blocked_us_total")});
+  auto payload = std::make_shared<const CompressedGrad>();
+  for (auto _ : state) {
+    queue.put(payload);
+    benchmark::DoNotOptimize(queue.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReusingQueueHandoffInstrumented);
+
+void BM_CounterAdd(benchmark::State& state) {
+  auto& counter = obs::Registry::global().counter("bench.counter");
+  for (auto _ : state) counter.add(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  auto& hist = obs::Registry::global().histogram("bench.histogram");
+  double v = 0.5;
+  for (auto _ : state) {
+    hist.observe(v);
+    v += 1.375;
+    if (v > 2e7) v = 0.5;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // A span against a disabled tracer must cost ~one relaxed load; this is
+  // what every hot path pays with tracing off.
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::TraceSpan span(tracer, "bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  std::uint64_t recorded = 0;
+  for (auto _ : state) {
+    obs::TraceSpan span(tracer, "bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+    if (++recorded % 100000 == 0) {
+      state.PauseTiming();
+      tracer.clear();  // bound the event buffers
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
 void BM_MlpLossAndGradient(benchmark::State& state) {
   MlpConfig cfg;
   cfg.input_dim = 32;
@@ -178,4 +247,12 @@ BENCHMARK(BM_ShardedFullCheckpoint);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  argc = lowdiff::bench::parse_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lowdiff::bench::dump_registry_json();
+  return 0;
+}

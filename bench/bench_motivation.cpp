@@ -27,7 +27,8 @@ constexpr double kDiffCompressThroughput = 6.0e9;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_motivation", "Fig. 1(a)/(b) — DC compute & transmission stalls");
 
   const ClusterSpec cluster;
@@ -70,5 +71,6 @@ int main() {
     }
     table.emit();
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

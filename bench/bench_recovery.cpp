@@ -33,7 +33,8 @@ using namespace lowdiff::sim;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_recovery", "Fig. 12 (Exp. 5) — recovery time vs FCF");
 
   const ClusterSpec cluster;
@@ -157,5 +158,6 @@ int main() {
     }
     table.emit();
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

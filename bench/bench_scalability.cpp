@@ -68,7 +68,8 @@ Ratios measure(const ClusterSpec& cluster, const Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_scalability",
                 "Figs. 15/16 (Exps. 9, 10) — failures & cluster scale (V100S)");
 
@@ -110,5 +111,6 @@ int main() {
     }
     table.emit();
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

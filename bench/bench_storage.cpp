@@ -30,7 +30,8 @@ constexpr double kRho = 0.01;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_storage", "Table III (Exp. 7) — checkpoint storage overhead");
 
   // --- exact wire sizes at full model scale ------------------------------------
@@ -145,5 +146,6 @@ int main() {
                 << "\n";
     }
   }
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

@@ -29,7 +29,8 @@ double total_time(const ClusterSpec& cluster, const Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_training_time",
                 "Fig. 8 (Exp. 1) — training time, per-iteration ckpt, rho=0.01");
 
@@ -86,5 +87,6 @@ int main() {
   run_row("VGG-16 (PP)", vgg_pp);
 
   table.emit();
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

@@ -26,7 +26,8 @@ double total_time(const ClusterSpec& cluster, const Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_training_time_nocomp",
                 "Fig. 9 (Exp. 2) — training time without compression");
 
@@ -59,5 +60,6 @@ int main() {
               bench::Table::pct(1.0 - t_plus / t_gemini));
   }
   table.emit();
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

@@ -1,11 +1,19 @@
 #pragma once
 
 /// \file bench_util.h
-/// Shared table/CSV output helpers for the experiment-reproduction benches.
-/// Each bench prints the rows/series of one paper table or figure on stdout
-/// and mirrors them into a CSV file next to the binary's working directory.
+/// Shared output helpers for the experiment-reproduction benches.  Each
+/// bench prints the rows/series of one paper table or figure on stdout and
+/// mirrors them into CSV files under a common output directory.
+///
+/// Flags (call parse_args() first thing in main):
+///   --outdir=DIR   directory for CSV/JSON artifacts (default bench_results/)
+///   --json         also dump the scraped metrics registry as
+///                  BENCH_<name>.json (schema in EXPERIMENTS.md)
+/// Unrecognized arguments are left in place for the bench's own parsing
+/// (google-benchmark flags in bench_micro, for example).
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -13,7 +21,58 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace lowdiff::bench {
+
+struct Options {
+  std::string outdir = "bench_results";
+  bool json = false;
+  std::string name;  ///< bench name (argv[0] basename, "bench_" stripped)
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+/// Consumes --outdir/--json from argv (compacting it) and returns the new
+/// argc.  Remaining arguments are untouched.
+inline int parse_args(int argc, char** argv) {
+  auto& opts = options();
+  if (argc > 0) {
+    opts.name = std::filesystem::path(argv[0]).filename().string();
+    if (opts.name.rfind("bench_", 0) == 0) opts.name = opts.name.substr(6);
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg.rfind("--outdir=", 0) == 0) {
+      opts.outdir = arg.substr(std::strlen("--outdir="));
+    } else if (arg == "--outdir" && i + 1 < argc) {
+      opts.outdir = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  return out;
+}
+
+/// Writes <outdir>/BENCH_<name>.json from the global metrics registry when
+/// --json was given.  Call once, at the end of main.
+inline void dump_registry_json() {
+  const auto& opts = options();
+  if (!opts.json) return;
+  std::filesystem::create_directories(opts.outdir);
+  const auto path =
+      std::filesystem::path(opts.outdir) / ("BENCH_" + opts.name + ".json");
+  std::ofstream out(path);
+  out << obs::Registry::global().scrape().to_json(opts.name) << "\n";
+  std::cout << "[json] " << path.string() << "\n";
+}
 
 /// Fixed-width text table with a CSV mirror.
 class Table {
@@ -49,9 +108,9 @@ class Table {
     for (const auto& r : rows_) print_row(r, widths);
 
     if (!csv_path_.empty()) {
-      // CSVs are collected under bench_results/ in the working directory.
-      std::filesystem::create_directories("bench_results");
-      const auto path = std::filesystem::path("bench_results") / csv_path_;
+      // CSVs are collected under the shared --outdir.
+      std::filesystem::create_directories(options().outdir);
+      const auto path = std::filesystem::path(options().outdir) / csv_path_;
       std::ofstream csv(path);
       csv << join(columns_) << "\n";
       for (const auto& r : rows_) csv << join(r) << "\n";

@@ -21,7 +21,8 @@ using namespace lowdiff::sim;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
   bench::header("bench_wasted_time", "Fig. 10 (Exp. 3) — wasted time vs MTBF");
 
   const ClusterSpec cluster;
@@ -119,5 +120,6 @@ int main() {
 
   std::cout << "\nLowDiff uses the Eq.(5)-tuned (FCF, BS) per MTBF; see "
                "bench_config_grid for the tuning surface.\n";
+  lowdiff::bench::dump_registry_json();
   return 0;
 }

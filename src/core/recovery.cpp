@@ -5,9 +5,28 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "compress/merge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace lowdiff {
+
+namespace {
+
+struct RecoveryObs {
+  obs::Counter& diffs_replayed_total;
+  obs::Counter& corrupt_diffs_total;
+  obs::Counter& merge_rounds_total;
+
+  static RecoveryObs resolve() {
+    auto& reg = obs::Registry::global();
+    return RecoveryObs{reg.counter("recovery.diffs_replayed_total"),
+                       reg.counter("recovery.corrupt_diffs_total"),
+                       reg.counter("recovery.merge_rounds_total")};
+  }
+};
+
+}  // namespace
 
 RecoveryEngine::RecoveryEngine(ModelSpec spec,
                                std::unique_ptr<Optimizer> optimizer,
@@ -21,6 +40,7 @@ RecoveryEngine::RecoveryEngine(ModelSpec spec,
 ModelState RecoveryEngine::load_base(const CheckpointStore& store,
                                      std::uint64_t& full_iter,
                                      RecoveryReport* report) const {
+  LOWDIFF_TRACE_SPAN("recovery.load_base", "recovery");
   const auto fulls = store.fulls();
   LOWDIFF_ENSURE(!fulls.empty(), "no full checkpoint to recover from");
   // Newest first; degrade to older fulls when the newer ones are corrupt.
@@ -45,6 +65,7 @@ ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
   ModelState state = load_base(store, full_iter, report);
 
   const auto diffs = store.diffs_after(full_iter);
+  LOWDIFF_TRACE_SPAN("recovery.replay", "recovery");
   Tensor dense(spec_.param_count());
   std::uint64_t applied_until = full_iter;
   std::uint64_t applied = 0, corrupt = 0;
@@ -66,6 +87,9 @@ ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
     applied_until = iter;
     ++applied;
   }
+  const RecoveryObs robs = RecoveryObs::resolve();
+  robs.diffs_replayed_total.add(applied);
+  robs.corrupt_diffs_total.add(corrupt);
   if (report != nullptr) {
     report->full_iteration = full_iter;
     report->diffs_replayed = applied;
@@ -102,6 +126,7 @@ ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
 
   // Ordered replay: Adam's moment updates do not commute, so exactness
   // requires applying gradients in iteration order.
+  LOWDIFF_TRACE_SPAN("recovery.replay", "recovery");
   std::uint64_t applied_until = full_iter;
   std::uint64_t applied = 0, corrupt = 0;
   bool truncated = false;
@@ -119,6 +144,9 @@ ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
     applied_until = diffs[i];
     ++applied;
   }
+  const RecoveryObs robs = RecoveryObs::resolve();
+  robs.diffs_replayed_total.add(applied);
+  robs.corrupt_diffs_total.add(corrupt);
   if (report != nullptr) {
     report->full_iteration = full_iter;
     report->diffs_replayed = applied;
@@ -140,6 +168,7 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
   const auto diff_iters = store.diffs_after(full_iter);
 
   // Round 0: parallel load of every differential payload.
+  obs::TraceSpan load_span(obs::Tracer::global(), "recovery.load", "recovery");
   std::vector<std::future<Result<CompressedGrad>>> loads;
   loads.reserve(diff_iters.size());
   for (std::uint64_t iter : diff_iters) {
@@ -166,12 +195,15 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
   const std::uint64_t applied = payloads.size();
   const std::uint64_t applied_until =
       applied == 0 ? full_iter : diff_iters[applied - 1];
+  load_span.finish();
 
   // Pairwise merge rounds (Fig. 7): gradients of a state-free optimizer
   // compose additively, so summing sparse payloads preserves the result.
   std::uint64_t rounds = 0;
   while (payloads.size() > 1) {
     ++rounds;
+    obs::TraceSpan round_span(obs::Tracer::global(), "recovery.merge_round",
+                              "recovery");
     std::vector<std::future<CompressedGrad>> merges;
     merges.reserve((payloads.size() + 1) / 2);
     for (std::size_t i = 0; i + 1 < payloads.size(); i += 2) {
@@ -196,6 +228,10 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
     }
     state.set_step(state.step() + applied);
   }
+  const RecoveryObs robs = RecoveryObs::resolve();
+  robs.diffs_replayed_total.add(applied);
+  robs.corrupt_diffs_total.add(corrupt);
+  robs.merge_rounds_total.add(rounds);
   if (report != nullptr) {
     report->full_iteration = full_iter;
     report->diffs_replayed = applied;

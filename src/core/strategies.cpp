@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "storage/atomic_commit.h"
 #include "storage/serializer.h"
 #include "tensor/ops.h"
@@ -22,13 +23,25 @@ AsyncWriter::Options committed_writer(std::size_t max_pending) {
 
 }  // namespace
 
+StrategyObs StrategyObs::resolve(const std::string& label) {
+  auto& reg = obs::Registry::global();
+  const std::string p = "ckpt." + label + ".";
+  return StrategyObs{reg.counter(p + "full_total"),
+                     reg.counter(p + "diff_total"),
+                     reg.counter(p + "batched_write_total"),
+                     reg.counter(p + "bytes_total"),
+                     reg.histogram(p + "stall_us"),
+                     reg.histogram(p + "overlap_us")};
+}
+
 // ---------------------------------------------------------------------------
 // TorchSave
 // ---------------------------------------------------------------------------
 
 TorchSaveStrategy::TorchSaveStrategy(std::shared_ptr<CheckpointStore> store,
                                      std::uint64_t interval)
-    : store_(std::move(store)), interval_(interval) {
+    : store_(std::move(store)), interval_(interval),
+      obs_(StrategyObs::resolve("torch_save")) {
   LOWDIFF_ENSURE(store_ != nullptr, "null store");
   LOWDIFF_ENSURE(interval_ >= 1, "interval must be >= 1");
 }
@@ -36,11 +49,15 @@ TorchSaveStrategy::TorchSaveStrategy(std::shared_ptr<CheckpointStore> store,
 void TorchSaveStrategy::after_step(std::uint64_t iter, const ModelState& state,
                                    std::shared_ptr<const CompressedGrad>) {
   if ((iter + 1) % interval_ != 0) return;
+  LOWDIFF_TRACE_SPAN("ckpt.full", "ckpt");
+  obs::ScopedTimerUs stall(obs_.stall_us);
   // Synchronous: blocks the training thread; a persistent failure here is
   // fatal by design (torch.save semantics).
   store_->put_full(iter, state).check();
   ++stats_.full_ckpts;
   stats_.bytes_written += state.byte_size();
+  obs_.full_total.add(1);
+  obs_.bytes_total.add(state.byte_size());
 }
 
 StrategyStats TorchSaveStrategy::stats() const {
@@ -56,6 +73,7 @@ StrategyStats TorchSaveStrategy::stats() const {
 CheckFreqStrategy::CheckFreqStrategy(std::shared_ptr<CheckpointStore> store,
                                      std::uint64_t interval)
     : store_(std::move(store)), interval_(interval),
+      obs_(StrategyObs::resolve("checkfreq")),
       writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
   LOWDIFF_ENSURE(interval_ >= 1, "interval must be >= 1");
 }
@@ -66,10 +84,14 @@ void CheckFreqStrategy::after_step(std::uint64_t iter, const ModelState& state,
   // Snapshot on the training thread (the device->host copy), persist on
   // the background writer.  The bounded (1) pending queue realizes the
   // "wait for the previous persist" pipeline rule.
+  LOWDIFF_TRACE_SPAN("ckpt.snapshot", "ckpt");
+  obs::ScopedTimerUs stall(obs_.stall_us);
   auto bytes = serialize_model_state(state);
   stats_.bytes_written += bytes.size();
+  obs_.bytes_total.add(bytes.size());
   writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
   ++stats_.full_ckpts;
+  obs_.full_total.add(1);
 }
 
 void CheckFreqStrategy::flush() { writer_.flush(); }
@@ -92,6 +114,7 @@ GeminiStrategy::GeminiStrategy(std::shared_ptr<StorageBackend> memory_tier,
       tier_store_(memory_tier_),  // throws on a null tier
       durable_(std::move(durable)), interval_(interval),
       persist_interval_(persist_interval),
+      obs_(StrategyObs::resolve("gemini")),
       writer_(durable_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
   LOWDIFF_ENSURE(interval_ >= 1 && persist_interval_ >= 1, "bad intervals");
 }
@@ -99,13 +122,17 @@ GeminiStrategy::GeminiStrategy(std::shared_ptr<StorageBackend> memory_tier,
 void GeminiStrategy::after_step(std::uint64_t iter, const ModelState& state,
                                 std::shared_ptr<const CompressedGrad>) {
   if ((iter + 1) % interval_ != 0) return;
+  LOWDIFF_TRACE_SPAN("ckpt.tier_write", "ckpt");
+  obs::ScopedTimerUs stall(obs_.stall_us);
   auto bytes = serialize_model_state(state);
   stats_.bytes_written += bytes.size();
+  obs_.bytes_total.add(bytes.size());
   // Ship to the (remote) CPU-memory tier; traffic cost is borne by the
   // tier's throttler if one is configured.  A failed tier write leaves no
   // committed object — recovery simply falls back to an older snapshot.
   (void)tier_store_.put_raw(CheckpointStore::full_key(iter), bytes);
   ++stats_.full_ckpts;
+  obs_.full_total.add(1);
   if ((iter + 1) % (interval_ * persist_interval_) == 0) {
     writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
   }
@@ -202,6 +229,7 @@ NaiveDcStrategy::NaiveDcStrategy(std::shared_ptr<CheckpointStore> store,
                                  std::uint64_t full_interval)
     : store_(std::move(store)), compressor_(std::move(compressor)),
       diff_interval_(diff_interval), full_interval_(full_interval),
+      obs_(StrategyObs::resolve("naivedc")),
       writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
   LOWDIFF_ENSURE(compressor_ != nullptr, "null compressor");
   LOWDIFF_ENSURE(diff_interval_ >= 1 && full_interval_ >= 1, "bad intervals");
@@ -220,15 +248,21 @@ void NaiveDcStrategy::after_step(std::uint64_t iter, const ModelState& state,
   const bool diff_due = (iter + 1) % diff_interval_ == 0;
 
   if (full_due || prev_ == nullptr) {
+    LOWDIFF_TRACE_SPAN("ckpt.full", "ckpt");
+    obs::ScopedTimerUs stall(obs_.stall_us);
     auto bytes = serialize_model_state(state);
     stats_.bytes_written += bytes.size();
+    obs_.bytes_total.add(bytes.size());
     writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
     ++stats_.full_ckpts;
+    obs_.full_total.add(1);
     prev_ = std::make_unique<ModelState>(state.clone());
     return;
   }
   if (!diff_due) return;
 
+  LOWDIFF_TRACE_SPAN("ckpt.diff", "ckpt");
+  obs::ScopedTimerUs stall(obs_.stall_us);
   // Differential computation on the training thread — the WAR-coupled
   // critical path (Fig. 3a): subtract states, compress the parameter diff.
   const std::size_t n = state.param_count();
@@ -247,8 +281,10 @@ void NaiveDcStrategy::after_step(std::uint64_t iter, const ModelState& state,
 
   auto bytes = rec.serialize();
   stats_.bytes_written += bytes.size();
+  obs_.bytes_total.add(bytes.size());
   writer_.submit(naive_diff_key(iter), std::move(bytes));
   ++stats_.diff_ckpts;
+  obs_.diff_total.add(1);
   prev_ = std::make_unique<ModelState>(state.clone());
 }
 
@@ -302,10 +338,14 @@ ModelState NaiveDcStrategy::recover(const CheckpointStore& store,
 LowDiffStrategy::LowDiffStrategy(std::shared_ptr<CheckpointStore> store,
                                  Options options)
     : store_(std::move(store)), options_(options),
+      obs_(StrategyObs::resolve("lowdiff")),
       queue_(options.queue_capacity),
       writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/4)) {
   LOWDIFF_ENSURE(options_.batch_size >= 1, "batch size must be >= 1");
   LOWDIFF_ENSURE(options_.full_interval >= 1, "full interval must be >= 1");
+  auto& reg = obs::Registry::global();
+  queue_.set_obs({&reg.gauge("queue.lowdiff.occupancy"),
+                  &reg.counter("queue.lowdiff.blocked_us_total")});
   ckpt_thread_ = std::thread([this] { checkpointing_loop(); });
 }
 
@@ -319,6 +359,8 @@ void LowDiffStrategy::after_step(std::uint64_t iter, const ModelState& state,
                                  std::shared_ptr<const CompressedGrad> sync_grad) {
   LOWDIFF_ENSURE(sync_grad != nullptr,
                  "LowDiff requires the synchronized gradient payload");
+  LOWDIFF_TRACE_SPAN("ckpt.enqueue", "ckpt");
+  obs::ScopedTimerUs stall(obs_.stall_us);
   {
     std::lock_guard lock(mutex_);
     device_resident_bytes_ += sync_grad->byte_size();
@@ -336,16 +378,20 @@ void LowDiffStrategy::after_step(std::uint64_t iter, const ModelState& state,
     stats_.queue_high_watermark =
         std::max(stats_.queue_high_watermark, queue_.high_watermark());
   }
+  obs_.diff_total.add(1);
 
   if ((iter + 1) % options_.full_interval == 0) {
     // Regular full checkpoint (Algorithm 1 line 15): snapshot on the
     // training thread, persist asynchronously.
+    LOWDIFF_TRACE_SPAN("ckpt.full", "ckpt");
     auto bytes = serialize_model_state(state);
     {
       std::lock_guard lock(mutex_);
       stats_.bytes_written += bytes.size();
       ++stats_.full_ckpts;
     }
+    obs_.full_total.add(1);
+    obs_.bytes_total.add(bytes.size());
     std::function<void()> on_done;
     if (options_.prune_on_full) {
       // GC runs on the writer thread only after this full checkpoint is
@@ -366,6 +412,8 @@ void LowDiffStrategy::checkpointing_loop() {
 
     // Offload: copy the payload into host memory (Fig. 4 step 1), modeled
     // PCIe cost included, then release the device handle.
+    LOWDIFF_TRACE_SPAN("ckpt.offload", "ckpt");
+    obs::ScopedTimerUs overlap(obs_.overlap_us);
     if (options_.pcie != nullptr) options_.pcie->acquire((*handle)->byte_size());
     CompressedGrad host_copy = **handle;
     {
@@ -407,6 +455,7 @@ void LowDiffStrategy::checkpointing_loop() {
 }
 
 void LowDiffStrategy::write_batch(std::vector<CompressedGrad> members) {
+  LOWDIFF_TRACE_SPAN("ckpt.write_batch", "ckpt");
   BatchedGrad batch;
   batch.first_iteration = members.front().iteration;
   batch.last_iteration = members.back().iteration;
@@ -420,6 +469,8 @@ void LowDiffStrategy::write_batch(std::vector<CompressedGrad> members) {
             }();
   batch.members = std::move(members);
   auto bytes = serialize_batch(batch);
+  obs_.batched_write_total.add(1);
+  obs_.bytes_total.add(bytes.size());
   {
     std::lock_guard lock(mutex_);
     stats_.bytes_written += bytes.size();
@@ -467,11 +518,15 @@ LowDiffPlusStrategy::LowDiffPlusStrategy(std::shared_ptr<CheckpointStore> store,
                                          std::unique_ptr<Optimizer> optimizer,
                                          Options options)
     : store_(std::move(store)), optimizer_(std::move(optimizer)),
-      options_(options), queue_(options.queue_capacity),
+      options_(options), obs_(StrategyObs::resolve("lowdiffplus")),
+      queue_(options.queue_capacity),
       writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/2)),
       replica_(init.clone()) {
   LOWDIFF_ENSURE(optimizer_ != nullptr, "null optimizer");
   LOWDIFF_ENSURE(options_.persist_interval >= 1, "persist interval must be >= 1");
+  auto& reg = obs::Registry::global();
+  queue_.set_obs({&reg.gauge("queue.lowdiffplus.occupancy"),
+                  &reg.counter("queue.lowdiffplus.blocked_us_total")});
   update_thread_ = std::thread([this] { update_loop(); });
 }
 
@@ -482,6 +537,7 @@ LowDiffPlusStrategy::~LowDiffPlusStrategy() {
 }
 
 void LowDiffPlusStrategy::on_layer_gradient(GradChunk chunk) {
+  obs::ScopedTimerUs stall(obs_.stall_us);
   {
     std::lock_guard lock(replica_mutex_);
     ++chunks_enqueued_;
@@ -489,6 +545,7 @@ void LowDiffPlusStrategy::on_layer_gradient(GradChunk chunk) {
   const bool accepted =
       queue_.put(std::make_shared<const GradChunk>(std::move(chunk)));
   LOWDIFF_ENSURE(accepted, "LowDiff+ queue closed while training is active");
+  obs_.diff_total.add(1);
 }
 
 void LowDiffPlusStrategy::after_step(std::uint64_t iter, const ModelState&,
@@ -511,6 +568,8 @@ void LowDiffPlusStrategy::update_loop() {
 
     // Snapshot thread: host copy of the layer gradient (Algorithm 2 line
     // 19) with its modeled PCIe cost.
+    LOWDIFF_TRACE_SPAN("ckpt.apply", "ckpt");
+    obs::ScopedTimerUs overlap(obs_.overlap_us);
     if (options_.pcie != nullptr) {
       options_.pcie->acquire(chunk.values.size() * sizeof(float));
     }
@@ -530,6 +589,8 @@ void LowDiffPlusStrategy::update_loop() {
         bytes = serialize_model_state(replica_);
         stats_.bytes_written += bytes.size();
         ++stats_.full_ckpts;
+        obs_.full_total.add(1);
+        obs_.bytes_total.add(bytes.size());
       }
       ++chunks_processed_;
       lock.unlock();

@@ -21,6 +21,7 @@
 #include "compress/merge.h"
 #include "core/checkpoint_store.h"
 #include "model/model_state.h"
+#include "obs/metrics.h"
 #include "optim/optimizer.h"
 #include "queue/reusing_queue.h"
 #include "storage/async_writer.h"
@@ -40,6 +41,22 @@ struct StrategyStats {
   /// Peak bytes of checkpoint payloads resident on the "device" side
   /// (i.e., not yet offloaded to the CPU buffer) — Exp. 6(b).
   std::size_t peak_device_bytes = 0;
+};
+
+/// Registry handles shared by every strategy, resolved once per instance
+/// under `ckpt.<label>.*`.  `stall_us` samples time spent inside
+/// after_step() / on_layer_gradient() on the training thread — training
+/// stall by the threading contract above.  `overlap_us` samples background
+/// work (offload, replica update) overlapped with training.
+struct StrategyObs {
+  obs::Counter& full_total;
+  obs::Counter& diff_total;
+  obs::Counter& batched_write_total;
+  obs::Counter& bytes_total;
+  obs::Histogram& stall_us;
+  obs::Histogram& overlap_us;
+
+  static StrategyObs resolve(const std::string& label);
 };
 
 class CheckpointStrategy {
@@ -85,6 +102,7 @@ class TorchSaveStrategy final : public CheckpointStrategy {
  private:
   std::shared_ptr<CheckpointStore> store_;
   std::uint64_t interval_;
+  StrategyObs obs_;
   StrategyStats stats_;
 };
 
@@ -104,6 +122,7 @@ class CheckFreqStrategy final : public CheckpointStrategy {
  private:
   std::shared_ptr<CheckpointStore> store_;
   std::uint64_t interval_;
+  StrategyObs obs_;
   AsyncWriter writer_;
   StrategyStats stats_;
 };
@@ -133,6 +152,7 @@ class GeminiStrategy final : public CheckpointStrategy {
   std::shared_ptr<CheckpointStore> durable_;
   std::uint64_t interval_;
   std::uint64_t persist_interval_;
+  StrategyObs obs_;
   AsyncWriter writer_;
   StrategyStats stats_;
 };
@@ -166,6 +186,7 @@ class NaiveDcStrategy final : public CheckpointStrategy {
   std::uint64_t diff_interval_;
   std::uint64_t full_interval_;
   std::unique_ptr<ModelState> prev_;  // state at the last differential
+  StrategyObs obs_;
   AsyncWriter writer_;
   StrategyStats stats_;
 };
@@ -205,6 +226,7 @@ class LowDiffStrategy final : public CheckpointStrategy {
 
   std::shared_ptr<CheckpointStore> store_;
   Options options_;
+  StrategyObs obs_;
   ReusingQueue<CompressedGrad> queue_;
   AsyncWriter writer_;
   std::thread ckpt_thread_;
@@ -269,6 +291,7 @@ class LowDiffPlusStrategy final : public CheckpointStrategy {
   std::shared_ptr<CheckpointStore> store_;
   std::unique_ptr<Optimizer> optimizer_;
   Options options_;
+  StrategyObs obs_;
   ReusingQueue<GradChunk> queue_;
   AsyncWriter writer_;
   std::thread update_thread_;

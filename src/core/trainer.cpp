@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "compress/dense.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "compress/quant8.h"
 #include "compress/randomk.h"
 #include "compress/topk.h"
@@ -99,7 +101,18 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
   Stopwatch wall;
   double stall_total = 0.0;
 
+  // Rank-0 view of the iteration pipeline (resolved once; the worker loop
+  // only touches the sharded handles).
+  auto& reg = obs::Registry::global();
+  obs::Counter& iters_total = reg.counter("trainer.iterations_total");
+  obs::Histogram& compute_us = reg.histogram("trainer.compute_us");
+  obs::Histogram& sync_us = reg.histogram("trainer.sync_us");
+  obs::Histogram& stall_us = reg.histogram("trainer.stall_us");
+
   auto worker = [&](std::size_t rank) {
+    if (obs::Tracer::global().enabled()) {
+      obs::Tracer::global().set_thread_name("rank" + std::to_string(rank));
+    }
     ModelState& state = states_[rank];
     Tensor grad(net_.spec().param_count());
     Tensor dense(net_.spec().param_count());
@@ -110,14 +123,22 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
     for (std::uint64_t i = 0; i < num_iters; ++i) {
       const std::uint64_t iter = start_iter + i;
 
-      // Data-parallel shard: every (iteration, rank) pair gets its own
-      // deterministic batch, so a recovered run replays the same stream.
-      dataset_.batch(iter * config_.world + rank, config_.batch_size, inputs,
-                     labels);
-      grad.zero();
-      const double loss = net_.loss_and_gradient(state, inputs, labels, grad);
+      double loss = 0.0;
+      {
+        LOWDIFF_TRACE_SPAN("train.compute", "train");
+        Stopwatch sw;
+        // Data-parallel shard: every (iteration, rank) pair gets its own
+        // deterministic batch, so a recovered run replays the same stream.
+        dataset_.batch(iter * config_.world + rank, config_.batch_size, inputs,
+                       labels);
+        grad.zero();
+        loss = net_.loss_and_gradient(state, inputs, labels, grad);
+        if (rank == 0) compute_us.observe(sw.elapsed_sec() * 1e6);
+      }
       if (rank == 0) result.losses[i] = loss;
 
+      obs::TraceSpan sync_span(obs::Tracer::global(), "train.sync", "train");
+      Stopwatch sync_sw;
       std::shared_ptr<const CompressedGrad> payload;
       if (config_.compression == GradCompression::kTopK ||
           config_.compression == GradCompression::kRandomK) {
@@ -153,9 +174,14 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
           payload = std::make_shared<const CompressedGrad>(std::move(wrapped));
         }
       }
+      sync_span.finish();
+      if (rank == 0) sync_us.observe(sync_sw.elapsed_sec() * 1e6);
 
       if (rank == 0) {
         Stopwatch sw;
+        // Span nested strictly inside the stopwatch window, so summing
+        // "ckpt.stall" spans from the trace reconstructs stall_seconds.
+        obs::TraceSpan stall_span(obs::Tracer::global(), "ckpt.stall", "ckpt");
         if (layerwise != nullptr) {
           // Stream per-layer chunks in reverse layer order, mirroring the
           // backward pass (Fig. 5).  The first layer emitted is the last
@@ -175,7 +201,11 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
         } else if (strategy != nullptr) {
           strategy->after_step(iter, state, payload);
         }
-        stall += sw.elapsed_sec();
+        stall_span.finish();
+        const double stalled = sw.elapsed_sec();
+        stall += stalled;
+        stall_us.observe(stalled * 1e6);
+        iters_total.add(1);
       }
       comm.barrier();  // keep ranks in lockstep iteration-to-iteration
     }

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON emission helpers shared by the metrics registry and the
+/// timeline tracer.  Writing only — the library never parses JSON.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace lowdiff::obs::json {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string quoted(const std::string& s) { return "\"" + escape(s) + "\""; }
+
+/// Formats a double as a valid JSON number (JSON has no inf/nan; they map
+/// to very large sentinels so bucket bounds survive the round trip).
+inline std::string number(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace lowdiff::obs::json

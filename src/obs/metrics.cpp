@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace lowdiff::obs {
+
+namespace detail {
+
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+std::vector<double> latency_buckets_us() {
+  // 1-2-5 decades from 1us to 10s: fine enough to separate a queue handoff
+  // from a batched write from a throttled persist.
+  return {1,    2,    5,    10,   20,   50,   100,  200,  500,  1e3,  2e3, 5e3,
+          1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6,  2e6,  5e6,  1e7};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = latency_buckets_us();
+  LOWDIFF_ENSURE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be ascending");
+  shards_.reserve(detail::kShards);
+  for (std::size_t i = 0; i < detail::kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& s = *shards_[detail::thread_shard()];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  s.n.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->n.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const auto& s : shards_) total += s->sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += s->counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& s : shards_) {
+    for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+    s->n.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    // Overflow bucket has no finite upper edge; report its lower edge.
+    const double hi = b < bounds.size() ? bounds[b] : lo;
+    const double frac =
+        counts[b] == 0 ? 0.0 : (target - before) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::string Snapshot::to_json(const std::string& label) const {
+  std::string out = "{\n";
+  if (!label.empty()) {
+    out += "  \"bench\": " + json::quoted(label) + ",\n";
+  }
+  out += "  \"schema\": \"lowdiff-metrics/1\",\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quoted(name) + ": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quoted(name) + ": " + json::number(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quoted(name) + ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + json::number(h.sum) +
+           ", \"mean\": " + json::number(h.mean()) +
+           ", \"p50\": " + json::number(h.quantile(0.50)) +
+           ", \"p95\": " + json::number(h.quantile(0.95)) +
+           ", \"p99\": " + json::number(h.quantile(0.99)) + ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      const std::string le =
+          b < h.bounds.size() ? json::number(h.bounds[b]) : "\"+inf\"";
+      out += "{\"le\": " + le + ", \"count\": " + std::to_string(h.counts[b]) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Snapshot Registry::scrape() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedTimerUs::ScopedTimerUs(Histogram& hist) noexcept
+    : hist_(&hist), start_ns_(now_ns()) {}
+
+ScopedTimerUs::~ScopedTimerUs() {
+  hist_->observe(static_cast<double>(now_ns() - start_ns_) * 1e-3);
+}
+
+}  // namespace lowdiff::obs

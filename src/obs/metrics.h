@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file metrics.h
+/// Low-overhead metrics registry: counters, gauges, and fixed-bucket
+/// histograms, designed for the checkpointing hot paths (after_step, the
+/// reusing-queue handoff, the async persist loop).
+///
+/// Write-path design: every metric is sharded across a small fixed set of
+/// cache-line-padded atomic slots; a thread picks its slot once (thread-
+/// local) and updates it with relaxed atomics — no locks, no contention
+/// between the training thread and the checkpointing/writer threads.
+/// Reads (scrape()) aggregate across shards and are allowed to be slow.
+///
+/// Handles returned by Registry::{counter,gauge,histogram} are stable for
+/// the registry's lifetime; resolve them once at construction time and keep
+/// the reference — name lookup takes a mutex and must stay off hot paths.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lowdiff::obs {
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index in [0, kShards).
+std::size_t thread_shard();
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) PaddedF64 {
+  std::atomic<double> v{0.0};
+};
+
+}  // namespace detail
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::PaddedU64 shards_[detail::kShards];
+};
+
+/// Point-in-time value.  set() is last-writer-wins; add() lets several
+/// components contribute deltas to one aggregate (e.g. total queue depth
+/// across every AsyncWriter instance).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    base_.store(v, std::memory_order_relaxed);
+    for (auto& s : shards_) s.v.store(0.0, std::memory_order_relaxed);
+  }
+
+  void add(double d) noexcept {
+    shards_[detail::thread_shard()].v.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  double value() const noexcept {
+    double total = base_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> base_{0.0};
+  detail::PaddedF64 shards_[detail::kShards];
+};
+
+/// Exponential upper bounds suited to microsecond latencies (1us .. 10s).
+std::vector<double> latency_buckets_us();
+
+/// Fixed-bucket histogram.  `bounds` are ascending inclusive upper bounds;
+/// an implicit +inf bucket catches the overflow.  observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(std::size_t buckets) : counts(buckets) {}
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> n{0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< size bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// Bucket-interpolated quantile estimate, q in [0, 1].
+  double quantile(double q) const;
+};
+
+/// Aggregated point-in-time view of a registry.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Machine-readable form (the BENCH_<name>.json payload; schema documented
+  /// in EXPERIMENTS.md).  `label` fills the top-level "bench" field.
+  std::string to_json(const std::string& label = "") const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name.  Returned references stay valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation; later callers get the
+  /// existing histogram whatever its bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  Snapshot scrape() const;
+
+  /// Zeroes every metric value.  Handles stay valid (tests isolate runs
+  /// with this; production never needs it).
+  void reset_values();
+
+  /// The process-wide registry all built-in instrumentation reports to.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII latency sample: observes elapsed microseconds on destruction.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram& hist) noexcept;
+  ~ScopedTimerUs();
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace lowdiff::obs

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace lowdiff::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer() : id_(next_tracer_id()), epoch_ns_(steady_now_ns()) {}
+
+double Tracer::now_us() const noexcept {
+  return static_cast<double>(steady_now_ns() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  // One cache entry per (thread, tracer); entries for dead tracers are
+  // never looked up again because tracer ids are process-unique.
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    ThreadBuf* buf;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.tracer_id == id_) return *e.buf;
+  }
+  std::lock_guard lock(mu_);
+  bufs_.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf& buf = *bufs_.back();
+  buf.tid = static_cast<std::uint32_t>(bufs_.size());
+  cache.push_back({id_, &buf});
+  return buf;
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  const double ts = now_us();
+  ThreadBuf& buf = local_buf();
+  std::lock_guard lock(buf.mu);
+  buf.events.push_back(TraceEvent{std::string(name), std::string(cat), 'i', ts,
+                                  0.0, buf.tid});
+}
+
+void Tracer::complete(std::string_view name, std::string_view cat, double ts_us,
+                      double dur_us) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard lock(buf.mu);
+  buf.events.push_back(TraceEvent{std::string(name), std::string(cat), 'X',
+                                  ts_us, dur_us, buf.tid});
+}
+
+void Tracer::set_thread_name(std::string_view name) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard lock(buf.mu);
+  buf.thread_name = std::string(name);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& buf : bufs_) {
+      std::lock_guard buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+double Tracer::span_total_us(std::string_view name) const {
+  double total = 0.0;
+  std::lock_guard lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mu);
+    for (const auto& e : buf->events) {
+      if (e.phase == 'X' && e.name == name) total += e.dur_us;
+    }
+  }
+  return total;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& line) {
+    out += first ? "" : ",\n";
+    out += line;
+    first = false;
+  };
+
+  std::lock_guard lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mu);
+    if (!buf->thread_name.empty()) {
+      emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(buf->tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": " +
+           json::quoted(buf->thread_name) + "}}");
+    }
+    for (const auto& e : buf->events) {
+      std::string line = "{\"ph\": \"";
+      line += e.phase;
+      line += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+              ", \"name\": " + json::quoted(e.name);
+      if (!e.cat.empty()) line += ", \"cat\": " + json::quoted(e.cat);
+      line += ", \"ts\": " + json::number(e.ts_us);
+      if (e.phase == 'X') line += ", \"dur\": " + json::number(e.dur_us);
+      if (e.phase == 'i') line += ", \"s\": \"t\"";
+      line += "}";
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace lowdiff::obs

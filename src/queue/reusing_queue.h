@@ -17,6 +17,7 @@
 /// the training stall LowDiff's batched-write path must avoid.
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -26,8 +27,17 @@
 #include <optional>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace lowdiff {
+
+/// Optional observability hooks for a ReusingQueue.  Null members cost a
+/// single branch on the hot path; attached members are updated with the
+/// queue's own lock already held (the metrics themselves are lock-free).
+struct QueueObs {
+  obs::Gauge* occupancy = nullptr;     ///< +1 per enqueue, -1 per dequeue
+  obs::Counter* blocked_us = nullptr;  ///< total producer time blocked on full
+};
 
 template <typename T>
 class ReusingQueue {
@@ -40,18 +50,38 @@ class ReusingQueue {
   ReusingQueue(const ReusingQueue&) = delete;
   ReusingQueue& operator=(const ReusingQueue&) = delete;
 
+  /// Attaches metric hooks (pass {} to detach).  Not thread-safe against
+  /// concurrent put/get — attach before the queue goes live.
+  void set_obs(QueueObs obs) {
+    std::lock_guard lock(mutex_);
+    obs_ = obs;
+  }
+
   /// Blocks while the queue is full.  Returns false iff the queue was
   /// closed (the handle is then dropped — the producer is shutting down).
   bool put(Handle handle) {
     LOWDIFF_ENSURE(handle != nullptr, "null handle enqueued");
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [this] {
+    const auto free = [this] {
       return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
+    };
+    if (!free()) {
+      if (obs_.blocked_us != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        not_full_.wait(lock, free);
+        obs_.blocked_us->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      } else {
+        not_full_.wait(lock, free);
+      }
+    }
     if (closed_) return false;
     items_.push_back(std::move(handle));
     ++total_enqueued_;
     high_watermark_ = std::max(high_watermark_, items_.size());
+    if (obs_.occupancy != nullptr) obs_.occupancy->add(1.0);
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -66,6 +96,7 @@ class ReusingQueue {
       items_.push_back(std::move(handle));
       ++total_enqueued_;
       high_watermark_ = std::max(high_watermark_, items_.size());
+      if (obs_.occupancy != nullptr) obs_.occupancy->add(1.0);
     }
     not_empty_.notify_one();
     return true;
@@ -79,6 +110,7 @@ class ReusingQueue {
     if (items_.empty()) return std::nullopt;
     Handle h = std::move(items_.front());
     items_.pop_front();
+    if (obs_.occupancy != nullptr) obs_.occupancy->add(-1.0);
     lock.unlock();
     not_full_.notify_one();
     return h;
@@ -90,6 +122,7 @@ class ReusingQueue {
     if (items_.empty()) return std::nullopt;
     Handle h = std::move(items_.front());
     items_.pop_front();
+    if (obs_.occupancy != nullptr) obs_.occupancy->add(-1.0);
     lock.unlock();
     not_full_.notify_one();
     return h;
@@ -137,6 +170,7 @@ class ReusingQueue {
   bool closed_ = false;
   std::size_t high_watermark_ = 0;
   std::uint64_t total_enqueued_ = 0;
+  QueueObs obs_;
 };
 
 }  // namespace lowdiff

@@ -2,16 +2,32 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "storage/atomic_commit.h"
 
 namespace lowdiff {
+
+AsyncWriter::Metrics AsyncWriter::Metrics::resolve() {
+  auto& reg = obs::Registry::global();
+  return Metrics{reg.counter("writer.jobs_total"),
+                 reg.counter("writer.bytes_total"),
+                 reg.counter("writer.retries_total"),
+                 reg.counter("writer.failed_total"),
+                 reg.counter("writer.submit_blocked_us_total"),
+                 reg.gauge("writer.queue_depth"),
+                 reg.histogram("writer.persist_us")};
+}
 
 AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend,
                          Options options)
     : backend_(std::move(backend)),
       options_(options),
+      metrics_(Metrics::resolve()),
       queue_(options.max_pending) {
   LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
+  // Queue depth aggregates across every writer instance; the blocked-time
+  // counter is the back-pressure stall submitters experience.
+  queue_.set_obs({&metrics_.queue_depth, &metrics_.submit_blocked_us});
   worker_ = std::thread([this] { run(); });
 }
 
@@ -68,11 +84,16 @@ void AsyncWriter::shutdown() {
 void AsyncWriter::run() {
   // The worker thread owns the RNG exclusively; no locking needed.
   Xoshiro256 rng(options_.seed);
+  if (obs::Tracer::global().enabled()) {
+    obs::Tracer::global().set_thread_name("async_writer");
+  }
   for (;;) {
     auto job = queue_.get();
     if (!job.has_value()) return;  // closed and drained
     const Job& j = **job;
     try {
+      obs::TraceSpan span(obs::Tracer::global(), "writer.persist", "writer");
+      obs::ScopedTimerUs persist_timer(metrics_.persist_us);
       std::uint64_t job_retries = 0;
       const Status status =
           options_.committed
@@ -81,15 +102,20 @@ void AsyncWriter::run() {
               : write_with_retry(*backend_, j.key, j.bytes, options_.retry,
                                  rng, &job_retries);
       retries_.fetch_add(job_retries, std::memory_order_relaxed);
+      metrics_.jobs_total.add(1);
+      metrics_.bytes_total.add(j.bytes.size());
+      metrics_.retries_total.add(job_retries);
       if (status.ok()) {
         if (j.on_done) j.on_done();
       } else {
         failed_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.failed_total.add(1);
         LOWDIFF_LOG_ERROR("async write of '", j.key,
                           "' failed: ", status.to_string());
       }
     } catch (const std::exception& e) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.failed_total.add(1);
       LOWDIFF_LOG_ERROR("async write of '", j.key, "' threw: ", e.what());
     }
     completed_.fetch_add(1, std::memory_order_release);

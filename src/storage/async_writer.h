@@ -22,6 +22,7 @@
 #include <thread>
 
 #include "common/retry.h"
+#include "obs/metrics.h"
 #include "queue/reusing_queue.h"
 #include "storage/backend.h"
 
@@ -90,10 +91,22 @@ class AsyncWriter {
   std::size_t max_pending() const { return options_.max_pending; }
 
  private:
+  struct Metrics {
+    obs::Counter& jobs_total;
+    obs::Counter& bytes_total;
+    obs::Counter& retries_total;
+    obs::Counter& failed_total;
+    obs::Counter& submit_blocked_us;
+    obs::Gauge& queue_depth;
+    obs::Histogram& persist_us;
+    static Metrics resolve();
+  };
+
   void run();
 
   std::shared_ptr<StorageBackend> backend_;
   Options options_;
+  Metrics metrics_;
   ReusingQueue<Job> queue_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -8,26 +8,38 @@
 
 namespace lowdiff {
 
-Throttler::Throttler(LinkSpec link, double time_scale)
+Throttler::Throttler(LinkSpec link, double time_scale, std::string name)
     : link_(link), time_scale_(time_scale),
       origin_(std::chrono::steady_clock::now()) {
   LOWDIFF_ENSURE(time_scale > 0.0, "time scale must be positive");
+  if (!name.empty()) {
+    auto& reg = obs::Registry::global();
+    bytes_metric_ = &reg.counter("link." + name + ".bytes_total");
+    wait_metric_ = &reg.histogram("link." + name + ".wait_us");
+  }
 }
 
 double Throttler::acquire(std::uint64_t bytes) {
   const double cost = link_.transfer_time(bytes);          // modeled seconds
   const double wall_cost = cost * time_scale_;              // wall seconds
   double finish;
+  double now;
   {
     std::lock_guard lock(mutex_);
-    const double now = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - origin_)
-                           .count();
+    now = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        origin_)
+              .count();
     const double start = std::max(now, next_free_);
     finish = start + wall_cost;
     next_free_ = finish;
     busy_time_ += cost;
     total_bytes_ += bytes;
+  }
+  if (bytes_metric_ != nullptr) bytes_metric_->add(bytes);
+  // Wall time this caller is about to spend blocked: own transfer plus any
+  // queueing behind earlier transfers on the link.
+  if (wait_metric_ != nullptr && finish > now) {
+    wait_metric_->observe((finish - now) * 1e6);
   }
   std::this_thread::sleep_until(
       origin_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace lowdiff {
 
@@ -51,7 +52,11 @@ inline LinkSpec remote_storage() { return {gbps_to_bytes_per_sec(25.0), 200e-6};
 /// transfer_time(bytes) * time_scale.
 class Throttler {
  public:
-  explicit Throttler(LinkSpec link, double time_scale = 1.0);
+  /// `name` labels this link in the metrics registry (`link.<name>.*`:
+  /// bytes moved, wall time callers spent blocked on the token bucket).
+  /// An empty name opts out of metrics entirely.
+  explicit Throttler(LinkSpec link, double time_scale = 1.0,
+                     std::string name = {});
 
   /// Blocks until the transfer completes.  Returns the *modeled* (unscaled)
   /// transfer time in seconds.
@@ -67,6 +72,8 @@ class Throttler {
  private:
   LinkSpec link_;
   double time_scale_;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Histogram* wait_metric_ = nullptr;
   mutable std::mutex mutex_;
   double next_free_ = 0.0;  // wall-clock seconds since construction
   double busy_time_ = 0.0;  // modeled seconds

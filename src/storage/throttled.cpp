@@ -5,9 +5,11 @@
 namespace lowdiff {
 
 ThrottledStorage::ThrottledStorage(std::shared_ptr<StorageBackend> inner,
-                                   LinkSpec link, double time_scale)
+                                   LinkSpec link, double time_scale,
+                                   std::string link_name)
     : inner_(std::move(inner)),
-      throttler_(std::make_unique<Throttler>(link, time_scale)) {
+      throttler_(
+          std::make_unique<Throttler>(link, time_scale, std::move(link_name))) {
   LOWDIFF_ENSURE(inner_ != nullptr, "null inner backend");
 }
 

@@ -14,8 +14,9 @@ namespace lowdiff {
 
 class ThrottledStorage final : public StorageBackend {
  public:
+  /// `link_name` labels the throttler's metrics (`link.<name>.*`).
   ThrottledStorage(std::shared_ptr<StorageBackend> inner, LinkSpec link,
-                   double time_scale = 1.0);
+                   double time_scale = 1.0, std::string link_name = "storage");
 
   Status write(const std::string& key, std::span<const std::byte> bytes) override;
   Result<std::vector<std::byte>> read(const std::string& key) const override;

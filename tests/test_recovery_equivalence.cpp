@@ -1,0 +1,175 @@
+// Equivalence suite: parallel recovery must reconstruct the same state as
+// serial recovery for differential chains of every awkward length, with and
+// without corruption truncating the replay prefix.  Three fixed seeds per
+// case keep the randomized inputs deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "compress/topk.h"
+#include "core/checkpoint_store.h"
+#include "core/recovery.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+#include "storage/mem_storage.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {5, 77, 901};
+constexpr std::uint64_t kChainLengths[] = {1, 2, 3, 7, 16};
+constexpr std::uint64_t kFullAt = 4;
+
+ModelSpec spec_of(std::size_t n) {
+  ModelSpec spec;
+  spec.name = "flat";
+  spec.layers = {{"w", {n}}};
+  return spec;
+}
+
+/// Trains with gradient reuse: one full checkpoint at kFullAt, then
+/// `n_diffs` reused compressed gradients.  Returns the final state.
+ModelState train_chain(CheckpointStore& store, const ModelSpec& spec,
+                       const Optimizer& opt, const Compressor& comp,
+                       std::uint64_t n_diffs, std::uint64_t seed) {
+  ModelState state(spec);
+  state.init_random(seed);
+  Tensor grad(spec.param_count());
+  Tensor dense(spec.param_count());
+  Xoshiro256 rng(seed * 131 + 7);
+  const std::uint64_t iters = kFullAt + n_diffs + 1;
+  for (std::uint64_t t = 0; t < iters; ++t) {
+    ops::fill_normal(grad.span(), rng, 0.5f);
+    const auto payload = comp.compress(grad.cspan(), t);
+    comp.decompress(payload, dense.span());
+    opt.step(state, dense.cspan());
+    if (t == kFullAt) {
+      store.put_full(t, state);
+    } else if (t > kFullAt) {
+      store.put_diff(payload);
+    }
+  }
+  return state;
+}
+
+/// Flips one byte of the stored differential for `iter`, bypassing the
+/// commit protocol — the marker still promises the original CRC, so reads
+/// must detect the mismatch.
+void corrupt_diff(MemStorage& mem, std::uint64_t iter) {
+  const auto key = CheckpointStore::diff_key(iter);
+  auto bytes = *mem.read(key);
+  bytes[bytes.size() / 2] ^= std::byte{0x10};
+  mem.write(key, bytes);
+}
+
+TEST(RecoveryEquivalence, ParallelMatchesSerialForEveryChainLength) {
+  for (const auto seed : kSeeds) {
+    for (const auto n : kChainLengths) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n));
+      const auto spec = spec_of(350);
+      auto mem = std::make_shared<MemStorage>();
+      CheckpointStore store(mem);
+      Adam adam;
+      TopKCompressor comp(0.08);
+      const auto trained = train_chain(store, spec, adam, comp, n, seed);
+
+      RecoveryEngine engine(spec, adam.clone(), comp.clone());
+      ThreadPool pool(4);
+      RecoveryReport serial_report, parallel_report;
+      const auto serial = engine.recover_serial(store, &serial_report);
+      const auto parallel =
+          engine.recover_parallel(store, pool, &parallel_report);
+
+      EXPECT_TRUE(serial.bit_equal(trained));
+      EXPECT_TRUE(parallel.bit_equal(serial));
+      EXPECT_EQ(serial_report.diffs_replayed, n);
+      EXPECT_EQ(parallel_report.diffs_replayed, n);
+      EXPECT_EQ(parallel_report.full_iteration, serial_report.full_iteration);
+      EXPECT_EQ(parallel_report.final_iteration, serial_report.final_iteration);
+      EXPECT_EQ(parallel_report.corrupt_diffs_skipped, 0u);
+    }
+  }
+}
+
+TEST(RecoveryEquivalence, CorruptDiffTruncatesBothPathsIdentically) {
+  for (const auto seed : kSeeds) {
+    for (const auto n : kChainLengths) {
+      // Corrupt one differential per chain — first, middle, last across
+      // the sweep so every truncation position is exercised.
+      const std::uint64_t corrupt_pos = (seed % n);
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n) +
+                   " corrupt_pos=" + std::to_string(corrupt_pos));
+      const auto spec = spec_of(280);
+      auto mem = std::make_shared<MemStorage>();
+      CheckpointStore store(mem);
+      Adam adam;
+      TopKCompressor comp(0.08);
+      train_chain(store, spec, adam, comp, n, seed);
+      corrupt_diff(*mem, kFullAt + 1 + corrupt_pos);
+
+      RecoveryEngine engine(spec, adam.clone(), comp.clone());
+      ThreadPool pool(3);
+      RecoveryReport serial_report, parallel_report;
+      const auto serial = engine.recover_serial(store, &serial_report);
+      const auto parallel =
+          engine.recover_parallel(store, pool, &parallel_report);
+
+      // Truncated-prefix semantics: everything before the corrupt record
+      // replays, nothing after it does, identically on both paths.
+      EXPECT_TRUE(parallel.bit_equal(serial));
+      EXPECT_EQ(serial_report.diffs_replayed, corrupt_pos);
+      EXPECT_EQ(parallel_report.diffs_replayed, corrupt_pos);
+      EXPECT_EQ(serial_report.corrupt_diffs_skipped, 1u);
+      EXPECT_EQ(parallel_report.corrupt_diffs_skipped, 1u);
+      const std::uint64_t expect_final =
+          corrupt_pos == 0 ? kFullAt : kFullAt + corrupt_pos;
+      EXPECT_EQ(serial_report.final_iteration, expect_final);
+      EXPECT_EQ(parallel_report.final_iteration, expect_final);
+    }
+  }
+}
+
+TEST(RecoveryEquivalence, AdditiveMergeMatchesSerialForSgd) {
+  // The pairwise-merge path (Fig. 7) only composes for a state-free
+  // optimizer; float re-association across merges allows tiny drift, so
+  // this is near-equality, not bit-equality.
+  for (const auto seed : kSeeds) {
+    for (const auto n : kChainLengths) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n));
+      const auto spec = spec_of(320);
+      auto mem = std::make_shared<MemStorage>();
+      CheckpointStore store(mem);
+      SgdConfig sgd_cfg;
+      Sgd sgd(sgd_cfg);
+      TopKCompressor comp(0.1);
+      train_chain(store, spec, sgd, comp, n, seed);
+
+      RecoveryEngine engine(spec, sgd.clone(), comp.clone());
+      ThreadPool pool(4);
+      RecoveryReport serial_report, additive_report;
+      const auto serial = engine.recover_serial(store, &serial_report);
+      const auto additive = engine.recover_parallel_additive(
+          store, pool, sgd_cfg.lr, &additive_report);
+
+      EXPECT_EQ(additive_report.diffs_replayed, serial_report.diffs_replayed);
+      EXPECT_EQ(additive_report.final_iteration, serial_report.final_iteration);
+      EXPECT_GE(additive_report.merge_rounds,
+                n > 1 ? static_cast<std::uint64_t>(std::ceil(std::log2(n))) : 0u);
+      const auto a = serial.params().cspan();
+      const auto b = additive.params().cspan();
+      float max_err = 0.0f;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(max_err, std::fabs(a[i] - b[i]));
+      }
+      EXPECT_LT(max_err, 1e-4f) << "fp-reassociation drift too large";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lowdiff
