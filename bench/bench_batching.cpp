@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
       opt.full_interval = 1000;
       auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
 
-      const std::uint64_t diffs = 40;
+      const std::uint64_t diffs = bench::options().smoke ? 8 : 40;
       for (std::uint64_t t = 0; t < diffs; ++t) {
         ops::fill_normal(grad.span(), rng, 1.0f);
         strategy->after_step(t, state, std::make_shared<const CompressedGrad>(

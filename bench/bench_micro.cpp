@@ -249,7 +249,15 @@ BENCHMARK(BM_ShardedFullCheckpoint);
 
 int main(int argc, char** argv) {
   argc = lowdiff::bench::parse_args(argc, argv);
-  benchmark::Initialize(&argc, argv);
+  // Smoke mode: one brief repetition per benchmark — CI exercises the
+  // code paths and the --json plumbing, not this machine's rates.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (lowdiff::bench::options().smoke) args.insert(args.begin() + 1, min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  argc = bench_argc;
+  argv = args.data();
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

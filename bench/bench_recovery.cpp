@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
     const std::size_t n = spec.param_count();
     TopKCompressor comp(0.01);
     SyntheticGradientGenerator gen(spec, 7);
-    const std::uint64_t diffs = 48;
+    // Smoke mode keeps the 20 ms-latency read path but shortens the chain.
+    const std::uint64_t diffs = bench::options().smoke ? 8 : 48;
 
     // Storage with SSD-like per-object latency and bandwidth: the parallel
     // recovery's win comes from overlapping reads + decompression, which a
@@ -104,7 +105,8 @@ int main(int argc, char** argv) {
     };
 
     bench::Table table(
-        "Live recovery, GPT2-S @ 1/64 scale, 48 differentials (ms)",
+        "Live recovery, GPT2-S @ 1/64 scale, " + std::to_string(diffs) +
+            " differentials (ms)",
         {"optimizer", "mode", "time_ms", "speedup", "exact_vs_serial"},
         "exp5_recovery_live.csv");
     ThreadPool pool(8);

@@ -1,0 +1,223 @@
+/// \file bench_tiers.cpp
+/// Exp. 11 — tiered placement & replication: kill f servers, measure
+/// recovery outcome and cost vs the replication factor k and tier mix.
+///
+/// Each trial trains a LowDiff run whose CheckpointStore routes through a
+/// tier::Replicator over the paper-testbed topology (per-server SSD and
+/// peer RAM + one shared remote store), then marks f servers failed (their
+/// RAM wiped, their SSDs unreachable) and recovers from the surviving
+/// replicas.  Failure sets are enumerated exhaustively — every one of the
+/// C(servers, f) subsets is one trial — so the survival counts are exact,
+/// not sampled.  Success requires a bit-exact state at the final training
+/// iteration; partial recoveries (older prefix) and total losses are
+/// reported separately.  The second table breaks one recovery down by read
+/// source, showing the bandwidth-optimal replica selection.
+///
+/// Schema of the --json artifact: EXPERIMENTS.md ("Exp. 11").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "compress/topk.h"
+#include "core/trainer.h"
+#include "sim/cluster.h"
+#include "sim/failure.h"
+#include "tier/replicator.h"
+#include "tier/tier_recovery.h"
+#include "tier/topology.h"
+
+namespace {
+
+using namespace lowdiff;
+
+constexpr double kRho = 0.05;
+
+MlpConfig mlp() {
+  MlpConfig cfg;
+  cfg.input_dim = 10;
+  cfg.hidden = {20, 16};
+  cfg.num_classes = 5;
+  return cfg;
+}
+
+TrainerConfig trainer_cfg(std::uint64_t seed) {
+  TrainerConfig cfg;
+  cfg.world = 2;
+  cfg.batch_size = 16;
+  cfg.rho = kRho;
+  cfg.seed = seed;
+  return cfg;
+}
+
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.max_attempts = 6;
+  p.base_delay_sec = 1e-6;
+  p.max_delay_sec = 1e-5;
+  return p;
+}
+
+sim::ClusterSpec four_server_cluster() {
+  sim::ClusterSpec cluster;
+  cluster.num_gpus = 16;  // 4 servers x 4 GPUs (Table II(a) testbed shape)
+  return cluster;
+}
+
+struct TrialResult {
+  bool recovered = false;   ///< recovery returned without throwing
+  bool bit_exact = false;   ///< ... and matches the final training state
+  std::uint64_t final_iteration = 0;
+  std::uint64_t bytes_read = 0;
+  double modeled_read_sec = 0.0;
+  double wall_sec = 0.0;
+  RecoveryReport report;
+};
+
+/// All f-element subsets of {0..n-1}, lexicographic.
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n,
+                                                      std::size_t f) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> pick(f);
+  for (std::size_t i = 0; i < f; ++i) pick[i] = i;
+  if (f == 0) return {pick};
+  while (true) {
+    out.push_back(pick);
+    std::size_t i = f;
+    while (i > 0 && pick[i - 1] == n - f + i - 1) --i;
+    if (i == 0) break;
+    ++pick[i - 1];
+    for (std::size_t j = i; j < f; ++j) pick[j] = pick[j - 1] + 1;
+  }
+  return out;
+}
+
+/// One end-to-end trial: train -> kill the listed servers -> recover.
+TrialResult run_trial(const sim::ClusterSpec& cluster, const std::string& policy,
+                      const std::vector<std::size_t>& failed,
+                      std::uint64_t iters, std::uint64_t seed) {
+  auto topo = tier::TierTopology::for_cluster(cluster);
+  auto replicas = std::make_shared<tier::Replicator>(
+      topo, tier::PlacementPolicy::parse(policy), tier::ReplicatorOptions{});
+  auto store = std::make_shared<CheckpointStore>(replicas, fast_policy());
+
+  Trainer trainer(mlp(), trainer_cfg(seed));
+  LowDiffStrategy::Options opt;
+  opt.batch_size = 2;
+  opt.full_interval = 8;
+  {
+    auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
+    trainer.run(0, iters, strategy.get());
+    strategy->flush();
+  }
+
+  tier::TierAwareRecoveryEngine engine(trainer.spec(), trainer.make_optimizer(),
+                                       TopKCompressor(kRho).clone());
+  TrialResult out;
+  Stopwatch sw;
+  try {
+    const ModelState state =
+        engine.recover_after_failures(replicas, failed, &out.report);
+    out.wall_sec = sw.elapsed_sec();
+    out.recovered = true;
+    out.final_iteration = out.report.final_iteration;
+    out.bit_exact = out.report.final_iteration == iters - 1 &&
+                    state.bit_equal(trainer.state(0));
+  } catch (const Error&) {
+    // Every replica of every full checkpoint died with the failed servers.
+    out.wall_sec = sw.elapsed_sec();
+  }
+  out.bytes_read = out.report.bytes_read;
+  out.modeled_read_sec = out.report.read_seconds;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lowdiff::bench::parse_args(argc, argv);
+  set_log_level(LogLevel::kOff);  // expected unavailable/corrupt log lines
+
+  bench::header("bench_tiers",
+                "Exp. 11: recovery after killing f servers vs replication "
+                "factor k and tier mix");
+
+  const sim::ClusterSpec cluster = four_server_cluster();
+  bench::set_cluster(cluster);
+
+  const bool smoke = bench::options().smoke;
+  const std::uint64_t iters = smoke ? 12 : 30;
+
+  const std::vector<std::string> policies = {
+      "1@local",               // paper baseline: origin SSD only
+      "2@local,peer",          // + one peer server's RAM
+      "2@local,remote",        // + the shared remote store
+      "3@local,peer,remote",   // all three tiers
+  };
+
+  // --- survival & recovery cost vs (policy, f), exhaustive failure sets ---
+  bench::Table table(
+      "Recovery after killing f of 4 servers (all C(4,f) failure sets, " +
+          std::to_string(iters) + "-iteration LowDiff runs)",
+      {"policy", "k", "quorum", "f", "sets", "bit_exact", "partial", "lost",
+       "mean_read_mb", "mean_modeled_read_ms", "mean_wall_ms"},
+      "tiers.csv");
+
+  for (const auto& policy : policies) {
+    const auto parsed = tier::PlacementPolicy::parse(policy);
+    for (std::size_t f = 0; f <= 2; ++f) {
+      const auto failure_sets = subsets_of_size(cluster.servers(), f);
+      int exact = 0, partial = 0, lost = 0;
+      double bytes_sum = 0.0, modeled_sum = 0.0, wall_sum = 0.0;
+      for (std::size_t s = 0; s < failure_sets.size(); ++s) {
+        const std::uint64_t seed =
+            0x7E1A0000 + static_cast<std::uint64_t>(f) * 256 +
+            static_cast<std::uint64_t>(s);
+        const TrialResult r =
+            run_trial(cluster, policy, failure_sets[s], iters, seed);
+        if (r.bit_exact) {
+          ++exact;
+        } else if (r.recovered) {
+          ++partial;
+        } else {
+          ++lost;
+        }
+        bytes_sum += static_cast<double>(r.bytes_read);
+        modeled_sum += r.modeled_read_sec;
+        wall_sum += r.wall_sec;
+      }
+      const double n = static_cast<double>(failure_sets.size());
+      table.row(policy, parsed.replicas(), parsed.quorum(), f,
+                failure_sets.size(), exact, partial, lost,
+                bench::Table::fmt(bytes_sum / n / 1e6, 3),
+                bench::Table::fmt(modeled_sum / n * 1e3, 3),
+                bench::Table::fmt(wall_sum / n * 1e3, 2));
+    }
+  }
+  table.emit();
+
+  // --- read-source breakdown of one representative recovery ---------------
+  {
+    bench::Table sources(
+        "Read sources, 3@local,peer,remote recovery after 1 server loss "
+        "(fastest surviving replica serves each record)",
+        {"source", "reads", "bytes", "modeled_read_ms"},
+        "tiers_sources.csv");
+    const TrialResult r = run_trial(
+        cluster, "3@local,peer,remote",
+        sim::sample_server_losses(cluster.servers(), 1, 0x7E1AFACE), iters,
+        0x7E1AFACE);
+    for (const auto& [name, totals] : r.report.read_sources) {
+      if (totals.reads == 0 && totals.bytes == 0) continue;
+      sources.row(name, totals.reads, totals.bytes,
+                  bench::Table::fmt(totals.seconds * 1e3, 3));
+    }
+    sources.emit();
+  }
+
+  lowdiff::bench::dump_registry_json();
+  return 0;
+}

@@ -9,8 +9,15 @@
 ///   --outdir=DIR   directory for CSV/JSON artifacts (default bench_results/)
 ///   --json         also dump the scraped metrics registry as
 ///                  BENCH_<name>.json (schema in EXPERIMENTS.md)
+///   --smoke        shrink the experiment (fewer iterations / smaller
+///                  models) so CI can exercise every bench end-to-end;
+///                  numbers from a smoke run are not comparable
 /// Unrecognized arguments are left in place for the bench's own parsing
 /// (google-benchmark flags in bench_micro, for example).
+///
+/// Every BENCH_<name>.json carries a "meta" block stamping the provenance
+/// of the run: git SHA and build type (baked in at compile time), smoke
+/// mode, and — when the bench calls set_cluster() — the active ClusterSpec.
 
 #include <cstdio>
 #include <cstring>
@@ -21,14 +28,29 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "sim/cluster.h"
+
+/// Build provenance, normally injected by the build system
+/// (bench/CMakeLists.txt defines both from `git rev-parse` and
+/// CMAKE_BUILD_TYPE); "unknown" when built outside CMake.
+#ifndef LOWDIFF_GIT_SHA
+#define LOWDIFF_GIT_SHA "unknown"
+#endif
+#ifndef LOWDIFF_BUILD_TYPE
+#define LOWDIFF_BUILD_TYPE "unknown"
+#endif
 
 namespace lowdiff::bench {
 
 struct Options {
   std::string outdir = "bench_results";
   bool json = false;
+  bool smoke = false;
   std::string name;  ///< bench name (argv[0] basename, "bench_" stripped)
+  /// JSON object describing the active cluster (set via set_cluster()).
+  std::string cluster_json;
 };
 
 inline Options& options() {
@@ -49,6 +71,8 @@ inline int parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       opts.json = true;
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
     } else if (arg.rfind("--outdir=", 0) == 0) {
       opts.outdir = arg.substr(std::strlen("--outdir="));
     } else if (arg == "--outdir" && i + 1 < argc) {
@@ -61,6 +85,40 @@ inline int parse_args(int argc, char** argv) {
   return out;
 }
 
+/// Records the ClusterSpec the bench runs against, for the "meta.cluster"
+/// provenance block of BENCH_<name>.json.  Call before dump_registry_json().
+inline void set_cluster(const sim::ClusterSpec& cluster) {
+  namespace json = obs::json;
+  std::string out = "{";
+  out += "\"gpu\": " + json::quoted(cluster.gpu.name);
+  out += ", \"num_gpus\": " + std::to_string(cluster.num_gpus);
+  out += ", \"gpus_per_server\": " + std::to_string(cluster.gpus_per_server);
+  out += ", \"servers\": " + std::to_string(cluster.servers());
+  out += ", \"network_bytes_per_sec\": " +
+         json::number(cluster.network.bytes_per_sec);
+  out += ", \"storage_bytes_per_sec\": " +
+         json::number(cluster.storage.bytes_per_sec);
+  out += ", \"storage_read_bytes_per_sec\": " +
+         json::number(cluster.storage_read_bytes_per_sec);
+  out += "}";
+  options().cluster_json = std::move(out);
+}
+
+/// The provenance block spliced into every BENCH_<name>.json.
+inline std::string meta_json() {
+  namespace json = obs::json;
+  const auto& opts = options();
+  std::string out = "  \"meta\": {\n";
+  out += "    \"git_sha\": " + json::quoted(LOWDIFF_GIT_SHA) + ",\n";
+  out += "    \"build_type\": " + json::quoted(LOWDIFF_BUILD_TYPE) + ",\n";
+  out += std::string("    \"smoke\": ") + (opts.smoke ? "true" : "false");
+  if (!opts.cluster_json.empty()) {
+    out += ",\n    \"cluster\": " + opts.cluster_json;
+  }
+  out += "\n  },\n";
+  return out;
+}
+
 /// Writes <outdir>/BENCH_<name>.json from the global metrics registry when
 /// --json was given.  Call once, at the end of main.
 inline void dump_registry_json() {
@@ -70,7 +128,11 @@ inline void dump_registry_json() {
   const auto path =
       std::filesystem::path(opts.outdir) / ("BENCH_" + opts.name + ".json");
   std::ofstream out(path);
-  out << obs::Registry::global().scrape().to_json(opts.name) << "\n";
+  // Splice the provenance block right after the document's opening brace —
+  // the registry's own serializer stays ignorant of bench-level concerns.
+  std::string body = obs::Registry::global().scrape().to_json(opts.name);
+  body.insert(body.find("{\n") + 2, meta_json());
+  out << body << "\n";
   std::cout << "[json] " << path.string() << "\n";
 }
 
@@ -154,8 +216,20 @@ class Table {
     std::string out;
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c > 0) out += ",";
-      out += cells[c];
+      out += csv_quote(cells[c]);
     }
+    return out;
+  }
+
+  /// RFC 4180 quoting — placement policies like "2@local,peer" carry commas.
+  static std::string csv_quote(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
     return out;
   }
 

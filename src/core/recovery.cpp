@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "compress/merge.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +25,34 @@ struct RecoveryObs {
                        reg.counter("recovery.corrupt_diffs_total"),
                        reg.counter("recovery.merge_rounds_total")};
   }
+};
+
+/// Read-side accounting for one recovery run: bytes come from the backend
+/// stats delta, latency totals from per-record stopwatches at the read
+/// sites.  Aggregated under the source name "storage" (the tier-aware
+/// engine replaces that with its per-tier breakdown).
+struct ReadAccounting {
+  explicit ReadAccounting(const CheckpointStore& store)
+      : store_(store), before_(store.backend().stats()) {}
+
+  void finish(RecoveryReport* report) const {
+    if (report == nullptr) return;
+    const auto after = store_.backend().stats();
+    const std::uint64_t bytes = after.bytes_read - before_.bytes_read;
+    report->bytes_read += bytes;
+    report->read_seconds += seconds;
+    auto& source = report->read_sources["storage"];
+    source.reads += reads;
+    source.bytes += bytes;
+    source.seconds += seconds;
+  }
+
+  std::uint64_t reads = 0;
+  double seconds = 0.0;
+
+ private:
+  const CheckpointStore& store_;
+  StorageStats before_;
 };
 
 }  // namespace
@@ -61,8 +90,12 @@ ModelState RecoveryEngine::load_base(const CheckpointStore& store,
 ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
                                           RecoveryReport* report) const {
   const std::uint64_t retries_before = store.retry_count();
+  ReadAccounting acct(store);
   std::uint64_t full_iter = 0;
+  Stopwatch base_sw;
   ModelState state = load_base(store, full_iter, report);
+  acct.seconds += base_sw.elapsed_sec();
+  acct.reads += 1 + (report != nullptr ? report->corrupt_fulls_skipped : 0);
 
   const auto diffs = store.diffs_after(full_iter);
   LOWDIFF_TRACE_SPAN("recovery.replay", "recovery");
@@ -71,7 +104,10 @@ ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
   std::uint64_t applied = 0, corrupt = 0;
   bool truncated = false;
   for (std::uint64_t iter : diffs) {
+    Stopwatch read_sw;
     auto payload = store.try_read_diff(iter);
+    acct.seconds += read_sw.elapsed_sec();
+    ++acct.reads;
     if (!payload.ok()) {
       // Replay must be a contiguous prefix, so the first bad differential
       // ends it — but keep scanning so every corrupt record is reported.
@@ -98,6 +134,7 @@ ModelState RecoveryEngine::recover_serial(const CheckpointStore& store,
     report->corrupt_diffs_skipped = corrupt;
     report->retries += store.retry_count() - retries_before;
   }
+  acct.finish(report);
   return state;
 }
 
@@ -105,22 +142,33 @@ ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
                                             ThreadPool& pool,
                                             RecoveryReport* report) const {
   const std::uint64_t retries_before = store.retry_count();
+  ReadAccounting acct(store);
   std::uint64_t full_iter = 0;
+  Stopwatch base_sw;
   ModelState state = load_base(store, full_iter, report);
+  acct.seconds += base_sw.elapsed_sec();
+  acct.reads += 1 + (report != nullptr ? report->corrupt_fulls_skipped : 0);
 
   const auto diffs = store.diffs_after(full_iter);
 
   // Read + decompress every differential concurrently — the I/O-parallel
   // half of the Fig. 7 scheme.
-  std::vector<std::future<Result<Tensor>>> dense_futures;
+  struct Loaded {
+    Result<Tensor> dense;
+    double seconds;
+  };
+  std::vector<std::future<Loaded>> dense_futures;
   dense_futures.reserve(diffs.size());
   for (std::uint64_t iter : diffs) {
-    dense_futures.push_back(pool.submit([this, &store, iter]() -> Result<Tensor> {
+    dense_futures.push_back(pool.submit([this, &store, iter]() -> Loaded {
+      Stopwatch read_sw;
       auto payload = store.try_read_diff(iter);
-      if (!payload.ok()) return Result<Tensor>(payload.status());
+      if (!payload.ok()) {
+        return {Result<Tensor>(payload.status()), read_sw.elapsed_sec()};
+      }
       Tensor dense(spec_.param_count());
       compressor_->decompress(*payload, dense.span());
-      return dense;
+      return {Result<Tensor>(std::move(dense)), read_sw.elapsed_sec()};
     }));
   }
 
@@ -131,16 +179,18 @@ ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
   std::uint64_t applied = 0, corrupt = 0;
   bool truncated = false;
   for (std::size_t i = 0; i < dense_futures.size(); ++i) {
-    auto dense = dense_futures[i].get();
-    if (!dense.ok()) {
+    auto loaded = dense_futures[i].get();
+    acct.seconds += loaded.seconds;
+    ++acct.reads;
+    if (!loaded.dense.ok()) {
       LOWDIFF_LOG_ERROR("differential at iteration ", diffs[i],
-                        " unusable: ", dense.status().to_string());
+                        " unusable: ", loaded.dense.status().to_string());
       ++corrupt;
       truncated = true;
       continue;
     }
     if (truncated) continue;
-    optimizer_->step(state, dense->cspan());
+    optimizer_->step(state, loaded.dense->cspan());
     applied_until = diffs[i];
     ++applied;
   }
@@ -155,6 +205,7 @@ ModelState RecoveryEngine::recover_parallel(const CheckpointStore& store,
     report->corrupt_diffs_skipped = corrupt;
     report->retries += store.retry_count() - retries_before;
   }
+  acct.finish(report);
   return state;
 }
 
@@ -162,17 +213,29 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
                                                      ThreadPool& pool, float lr,
                                                      RecoveryReport* report) const {
   const std::uint64_t retries_before = store.retry_count();
+  ReadAccounting acct(store);
   std::uint64_t full_iter = 0;
+  Stopwatch base_sw;
   ModelState state = load_base(store, full_iter, report);
+  acct.seconds += base_sw.elapsed_sec();
+  acct.reads += 1 + (report != nullptr ? report->corrupt_fulls_skipped : 0);
 
   const auto diff_iters = store.diffs_after(full_iter);
 
   // Round 0: parallel load of every differential payload.
   obs::TraceSpan load_span(obs::Tracer::global(), "recovery.load", "recovery");
-  std::vector<std::future<Result<CompressedGrad>>> loads;
+  struct LoadedGrad {
+    Result<CompressedGrad> payload;
+    double seconds;
+  };
+  std::vector<std::future<LoadedGrad>> loads;
   loads.reserve(diff_iters.size());
   for (std::uint64_t iter : diff_iters) {
-    loads.push_back(pool.submit([&store, iter] { return store.try_read_diff(iter); }));
+    loads.push_back(pool.submit([&store, iter]() -> LoadedGrad {
+      Stopwatch read_sw;
+      auto payload = store.try_read_diff(iter);
+      return {std::move(payload), read_sw.elapsed_sec()};
+    }));
   }
   // Usable prefix: corruption at position k truncates the replay there
   // (even additively, applying post-gap updates would yield a state that
@@ -182,15 +245,17 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
   std::uint64_t corrupt = 0;
   bool truncated = false;
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    auto payload = loads[i].get();
-    if (!payload.ok()) {
+    auto loaded = loads[i].get();
+    acct.seconds += loaded.seconds;
+    ++acct.reads;
+    if (!loaded.payload.ok()) {
       LOWDIFF_LOG_ERROR("differential at iteration ", diff_iters[i],
-                        " unusable: ", payload.status().to_string());
+                        " unusable: ", loaded.payload.status().to_string());
       ++corrupt;
       truncated = true;
       continue;
     }
-    if (!truncated) payloads.push_back(std::move(*payload));
+    if (!truncated) payloads.push_back(std::move(*loaded.payload));
   }
   const std::uint64_t applied = payloads.size();
   const std::uint64_t applied_until =
@@ -240,6 +305,7 @@ ModelState RecoveryEngine::recover_parallel_additive(const CheckpointStore& stor
     report->corrupt_diffs_skipped = corrupt;
     report->retries += store.retry_count() - retries_before;
   }
+  acct.finish(report);
   return state;
 }
 

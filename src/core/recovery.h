@@ -23,7 +23,9 @@
 /// remaining differentials are still scanned so the report counts every
 /// corrupt record.  Recovery throws only when no valid full exists at all.
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "compress/compressor.h"
@@ -33,6 +35,17 @@
 
 namespace lowdiff {
 
+/// Read traffic attributed to one source (a storage backend, or one tier
+/// when recovery runs over a tier::Replicator).
+struct ReadSourceTotals {
+  std::uint64_t reads = 0;
+  std::uint64_t bytes = 0;
+  /// Read latency total: wall seconds spent in store reads (per-record
+  /// read+decode, summed — exceeds wall clock under parallel recovery), or
+  /// modeled seconds at the tier's read bandwidth for tier-aware recovery.
+  double seconds = 0.0;
+};
+
 struct RecoveryReport {
   std::uint64_t full_iteration = 0;   ///< iteration of the loaded full ckpt
   std::uint64_t final_iteration = 0;  ///< iteration after replay
@@ -41,6 +54,11 @@ struct RecoveryReport {
   std::uint64_t corrupt_diffs_skipped = 0;  ///< CRC/decoding failures seen
   std::uint64_t corrupt_fulls_skipped = 0;  ///< fulls rejected before base
   std::uint64_t retries = 0;  ///< storage retries during recovery reads
+  std::uint64_t bytes_read = 0;  ///< bytes fetched from the store's backend
+  double read_seconds = 0.0;     ///< total read latency (see ReadSourceTotals)
+  /// Per-source breakdown, keyed by backend/tier name ("storage" for the
+  /// single-backend engine; `tier.*` names under TierAwareRecoveryEngine).
+  std::map<std::string, ReadSourceTotals> read_sources;
 };
 
 class RecoveryEngine {

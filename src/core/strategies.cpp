@@ -94,7 +94,12 @@ void CheckFreqStrategy::after_step(std::uint64_t iter, const ModelState& state,
   obs_.full_total.add(1);
 }
 
-void CheckFreqStrategy::flush() { writer_.flush(); }
+void CheckFreqStrategy::flush() {
+  writer_.flush();
+  // Propagate durability through composite backends (e.g. a tier::Replicator
+  // drains its replica writers here) so flush() honours its quorum contract.
+  (void)store_->backend().sync();
+}
 
 StrategyStats CheckFreqStrategy::stats() const {
   StrategyStats out = stats_;
@@ -138,7 +143,10 @@ void GeminiStrategy::after_step(std::uint64_t iter, const ModelState& state,
   }
 }
 
-void GeminiStrategy::flush() { writer_.flush(); }
+void GeminiStrategy::flush() {
+  writer_.flush();
+  (void)durable_->backend().sync();
+}
 
 StrategyStats GeminiStrategy::stats() const {
   StrategyStats out = stats_;
@@ -288,7 +296,10 @@ void NaiveDcStrategy::after_step(std::uint64_t iter, const ModelState& state,
   prev_ = std::make_unique<ModelState>(state.clone());
 }
 
-void NaiveDcStrategy::flush() { writer_.flush(); }
+void NaiveDcStrategy::flush() {
+  writer_.flush();
+  (void)store_->backend().sync();
+}
 
 StrategyStats NaiveDcStrategy::stats() const {
   StrategyStats out = stats_;
@@ -500,6 +511,7 @@ void LowDiffStrategy::flush() {
   }
   if (!tail.empty()) write_batch(std::move(tail));
   writer_.flush();
+  (void)store_->backend().sync();
 }
 
 StrategyStats LowDiffStrategy::stats() const {
@@ -620,6 +632,7 @@ void LowDiffPlusStrategy::flush() {
                      [this] { return chunks_processed_ == chunks_enqueued_; });
   }
   writer_.flush();
+  (void)store_->backend().sync();
 }
 
 StrategyStats LowDiffPlusStrategy::stats() const {

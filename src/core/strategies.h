@@ -95,7 +95,7 @@ class TorchSaveStrategy final : public CheckpointStrategy {
 
   void after_step(std::uint64_t iter, const ModelState& state,
                   std::shared_ptr<const CompressedGrad> sync_grad) override;
-  void flush() override {}
+  void flush() override { (void)store_->backend().sync(); }
   std::string name() const override { return "torch.save"; }
   StrategyStats stats() const override;
 

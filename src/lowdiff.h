@@ -16,6 +16,8 @@
 ///   core/     — checkpoint store, strategies (LowDiff, LowDiff+, and the
 ///               baselines), recovery engines, Eq. (3)/(5) config tuning,
 ///               and the live training engine
+///   tier/     — tiered placement, k-way replication across failure
+///               domains, tier-aware recovery, cold-full demotion
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -54,6 +56,7 @@
 #include "storage/file_storage.h"
 #include "storage/mem_storage.h"
 #include "storage/serializer.h"
+#include "storage/stacking.h"
 #include "storage/throttled.h"
 
 #include "comm/comm_group.h"
@@ -70,3 +73,9 @@
 #include "core/recovery.h"
 #include "core/strategies.h"
 #include "core/trainer.h"
+
+#include "tier/demoter.h"
+#include "tier/placement.h"
+#include "tier/replicator.h"
+#include "tier/tier_recovery.h"
+#include "tier/topology.h"

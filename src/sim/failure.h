@@ -1,13 +1,18 @@
 #pragma once
 
 /// \file failure.h
-/// Failure injection for the long-horizon experiments (Exp. 3, 9, 10).
+/// Failure injection for the long-horizon experiments (Exp. 3, 9, 10, 11).
 /// Failures arrive as a Poisson process with the configured MTBF, matching
 /// the paper's methodology ("failures were simulated ... adhering to a
-/// fixed MTBF metric", §6.2 Exp. 3).
+/// fixed MTBF metric", §6.2 Exp. 3).  Each event can carry the index of
+/// the server it strikes, which maps onto the failure domains of the
+/// tiered placement subsystem (tier/topology.h) for Exp. 11.
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 
 namespace lowdiff::sim {
@@ -20,6 +25,9 @@ enum class FailureType {
 struct FailureEvent {
   double time = 0.0;  ///< seconds since the previous failure (or start)
   FailureType type = FailureType::kSoftware;
+  /// Server struck by the failure (uniform over the cluster when sampled
+  /// via next(num_servers); 0 for the legacy single-server next()).
+  std::size_t server = 0;
 };
 
 class FailureModel {
@@ -40,10 +48,44 @@ class FailureModel {
     return ev;
   }
 
+  /// Samples the next failure and attributes it to a server drawn
+  /// uniformly from `num_servers` (each server is equally likely to be
+  /// the one that dies — the paper's clusters are homogeneous).
+  FailureEvent next(std::size_t num_servers) {
+    LOWDIFF_ENSURE(num_servers > 0, "cluster has no servers");
+    FailureEvent ev = next();
+    ev.server = static_cast<std::size_t>(
+        rng_.uniform_below(static_cast<std::uint64_t>(num_servers)));
+    return ev;
+  }
+
  private:
   double mtbf_sec_;
   double software_fraction_;
   Xoshiro256 rng_;
 };
+
+/// Samples `count` *distinct* servers to kill simultaneously — the
+/// correlated-loss scenario of Exp. 11 ("kill f servers, measure recovery
+/// time vs k and tier mix").  Deterministic in `seed`; returns the victims
+/// in ascending order.  `count` must not exceed `num_servers`.
+inline std::vector<std::size_t> sample_server_losses(std::size_t num_servers,
+                                                     std::size_t count,
+                                                     std::uint64_t seed) {
+  LOWDIFF_ENSURE(count <= num_servers, "cannot kill more servers than exist");
+  std::vector<std::size_t> servers(num_servers);
+  for (std::size_t i = 0; i < num_servers; ++i) servers[i] = i;
+  Xoshiro256 rng(SplitMix64(seed ^ 0x5E12Fu).next());
+  // Partial Fisher–Yates: the first `count` entries form a uniform sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_below(
+                static_cast<std::uint64_t>(num_servers - i)));
+    std::swap(servers[i], servers[j]);
+  }
+  servers.resize(count);
+  std::sort(servers.begin(), servers.end());
+  return servers;
+}
 
 }  // namespace lowdiff::sim

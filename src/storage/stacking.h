@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file stacking.h
+/// Canonical decorator stacking order for simulated storage backends.
+///
+/// The physical model is: bytes traverse a *link* (PCIe / network / SSD
+/// bus), then land on a *device* that may misbehave.  The decorators must
+/// therefore stack as
+///
+///     ThrottledStorage( FaultInjectingStorage( MemStorage ) )
+///                ^link                ^device
+///
+/// i.e. faults are injected *after* throttling on the write path:
+///   - a torn write consumes full link bandwidth before the device tears it
+///     (the bytes really crossed the wire);
+///   - a latency-spike fault (device stall) adds to the bandwidth wait
+///     instead of hiding inside it — the two compose additively;
+///   - a clean read error costs no read bandwidth (ThrottledStorage only
+///     charges the link for bytes actually returned).
+///
+/// Stacking the other way around (faults outside the throttle) would let a
+/// torn write skip the link entirely and would serialize latency spikes
+/// *before* the token-bucket wait, under-counting link occupancy.  The
+/// composition is pinned by `StorageStacking.*` in tests/test_storage.cpp.
+
+#include <memory>
+#include <string>
+
+#include "storage/fault_injection.h"
+#include "storage/mem_storage.h"
+#include "storage/throttled.h"
+
+namespace lowdiff {
+
+/// Handles into every layer of a canonical Throttled(FaultInjecting(Mem))
+/// stack.  `root` is what callers read/write through; `faults` and `base`
+/// stay accessible for test/scenario control (arming faults, corrupting or
+/// wiping raw objects).
+struct StackedBackend {
+  std::shared_ptr<ThrottledStorage> root;
+  std::shared_ptr<FaultInjectingStorage> faults;
+  std::shared_ptr<MemStorage> base;
+};
+
+/// Builds the canonical stack over a fresh MemStorage.
+inline StackedBackend make_stacked_backend(LinkSpec link, FaultSpec faults = {},
+                                           double time_scale = 1.0,
+                                           std::string link_name = "storage") {
+  StackedBackend stack;
+  stack.base = std::make_shared<MemStorage>();
+  stack.faults = std::make_shared<FaultInjectingStorage>(stack.base, faults);
+  stack.root = std::make_shared<ThrottledStorage>(stack.faults, link, time_scale,
+                                                  std::move(link_name));
+  return stack;
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file demoter.h
+/// Background migration of cold full checkpoints out of peer memory.
+///
+/// Peer-memory tiers are small (a slice of another server's RAM), so they
+/// fill up with full checkpoints long before the SSD/remote tiers do.  The
+/// Demoter keeps each peer-memory tier under a capacity budget by moving
+/// the *oldest* committed fulls (cold: recovery always starts from the
+/// newest valid full, so older fulls are pure fallback) to the shared
+/// remote store.  A record is copied (data, sync, marker — the commit
+/// order) before it is dropped from the peer tier, so there is no instant
+/// at which the record has fewer committed replicas than before the
+/// migration.
+///
+/// run_once() is the deterministic unit tests/benches drive; start()
+/// spawns the background sweeper that production strategies would run.
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "tier/topology.h"
+
+namespace lowdiff::tier {
+
+class Demoter {
+ public:
+  struct Options {
+    /// Budget per peer-memory tier (raw resident bytes, markers included).
+    std::size_t peer_capacity_bytes = 64ull << 20;
+    /// Background sweep cadence for start().
+    std::chrono::milliseconds interval{200};
+  };
+
+  Demoter(std::shared_ptr<TierTopology> topology, Options options);
+  ~Demoter();
+
+  struct Pass {
+    std::size_t migrated = 0;     ///< full checkpoints moved
+    std::uint64_t bytes = 0;      ///< data+marker bytes shipped
+    std::size_t over_budget = 0;  ///< peer tiers still over budget after
+  };
+
+  /// One sweep over every live peer-memory tier.  No-op (over_budget
+  /// counts only) when the shared store is absent or down.
+  Pass run_once();
+
+  void start();
+  void stop();
+
+ private:
+  void loop();
+
+  std::shared_ptr<TierTopology> topology_;
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::thread sweeper_;
+};
+
+}  // namespace lowdiff::tier

@@ -1,0 +1,175 @@
+#include "tier/placement.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lowdiff::tier {
+
+namespace {
+
+TierKind parse_kind(const std::string& word) {
+  if (word == "local") return TierKind::kLocalSsd;
+  if (word == "peer") return TierKind::kPeerMemory;
+  if (word == "remote") return TierKind::kRemoteShared;
+  throw Error("unknown tier '" + word + "' (want local|peer|remote)",
+              std::source_location::current());
+}
+
+std::size_t parse_count(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size() || value == 0) {
+    throw Error(std::string("bad ") + what + " '" + text + "' in placement policy",
+                std::source_location::current());
+  }
+  return value;
+}
+
+}  // namespace
+
+PlacementPolicy::PlacementPolicy(Spec spec) : spec_(std::move(spec)) {
+  LOWDIFF_ENSURE(spec_.replicas >= 1, "placement needs at least one replica");
+  LOWDIFF_ENSURE(!spec_.preference.empty(), "placement needs a tier preference");
+  LOWDIFF_ENSURE(spec_.quorum <= spec_.replicas,
+                 "quorum cannot exceed replica count");
+}
+
+PlacementPolicy PlacementPolicy::parse(const std::string& text) {
+  const auto at = text.find('@');
+  if (at == std::string::npos) {
+    throw Error("placement policy '" + text + "' missing 'k@' prefix",
+                std::source_location::current());
+  }
+  Spec spec;
+  spec.replicas = parse_count(text.substr(0, at), "replica count");
+
+  std::string tiers = text.substr(at + 1);
+  if (const auto q = tiers.rfind("/q"); q != std::string::npos) {
+    spec.quorum = parse_count(tiers.substr(q + 2), "quorum");
+    tiers = tiers.substr(0, q);
+  }
+  spec.preference.clear();
+  std::size_t start = 0;
+  while (start <= tiers.size()) {
+    const auto comma = tiers.find(',', start);
+    const auto word = tiers.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    spec.preference.push_back(parse_kind(word));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return PlacementPolicy(std::move(spec));
+}
+
+std::size_t PlacementPolicy::quorum() const {
+  if (spec_.quorum != 0) return spec_.quorum;
+  return spec_.replicas / 2 + 1;  // majority
+}
+
+std::string PlacementPolicy::to_string() const {
+  std::string out = std::to_string(spec_.replicas) + "@";
+  for (std::size_t i = 0; i < spec_.preference.size(); ++i) {
+    if (i > 0) out += ",";
+    out += tier::to_string(spec_.preference[i]);
+  }
+  if (spec_.quorum != 0) out += "/q" + std::to_string(spec_.quorum);
+  return out;
+}
+
+PlacementPlan PlacementPolicy::plan(TierTopology& topo,
+                                    std::size_t origin_server) const {
+  PlacementPlan out;
+  out.quorum = quorum();
+  std::vector<std::size_t> used_domains;
+  auto domain_used = [&](std::size_t domain) {
+    return std::find(used_domains.begin(), used_domains.end(), domain) !=
+           used_domains.end();
+  };
+
+  // Number of servers represented in the topology (ring ordering base).
+  std::size_t servers = 0;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    const auto& t = topo.target(i);
+    if (t.failure_domain != TierTopology::kSharedDomain) {
+      servers = std::max(servers, t.failure_domain + 1);
+    }
+  }
+
+  auto kind_candidate = [&](TierKind kind, std::size_t domain) -> TierTarget* {
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      auto& t = topo.target(i);
+      if (t.kind == kind && t.failure_domain == domain) return &t;
+    }
+    return nullptr;
+  };
+
+  // Per-kind candidate pools, each in proximity order.
+  std::vector<std::vector<TierTarget*>> pools;
+  pools.reserve(spec_.preference.size());
+  for (TierKind kind : spec_.preference) {
+    std::vector<TierTarget*> pool;
+    switch (kind) {
+      case TierKind::kLocalSsd:
+        // Origin's own SSD first, then the other servers' SSDs in ring
+        // order — a replica on a peer's SSD is still "the SSD tier", just
+        // in a different failure domain.
+        for (std::size_t i = 0; i < std::max<std::size_t>(servers, 1); ++i) {
+          const std::size_t s = servers == 0 ? 0 : (origin_server + i) % servers;
+          if (auto* t = kind_candidate(kind, s)) pool.push_back(t);
+        }
+        break;
+      case TierKind::kPeerMemory:
+        // Peer = *another* host's RAM; the origin's own RAM dies with the
+        // origin and adds no failure-domain diversity.
+        for (std::size_t i = 1; i < std::max<std::size_t>(servers, 1); ++i) {
+          const std::size_t s = (origin_server + i) % servers;
+          if (auto* t = kind_candidate(kind, s)) pool.push_back(t);
+        }
+        break;
+      case TierKind::kRemoteShared:
+        if (auto* t = kind_candidate(kind, TierTopology::kSharedDomain)) {
+          pool.push_back(t);
+        }
+        break;
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  // Round-robin across the listed tiers: one replica per tier kind per
+  // round, so "2@local,peer" means origin SSD *plus* a peer's RAM — the
+  // tier mix the policy spells out — and extra replicas (k > kinds) wrap
+  // around for more of the same mix.  Dead targets and used failure
+  // domains are skipped within each pool.
+  std::vector<std::size_t> cursor(pools.size(), 0);
+  bool progress = true;
+  while (out.targets.size() < spec_.replicas && progress) {
+    progress = false;
+    for (std::size_t p = 0;
+         p < pools.size() && out.targets.size() < spec_.replicas; ++p) {
+      while (cursor[p] < pools[p].size()) {
+        TierTarget* t = pools[p][cursor[p]++];
+        if (!topo.alive(*t)) continue;
+        if (spec_.distinct_domains && domain_used(t->failure_domain)) continue;
+        if (std::find(out.targets.begin(), out.targets.end(), t) !=
+            out.targets.end()) {
+          continue;
+        }
+        out.targets.push_back(t);
+        used_domains.push_back(t->failure_domain);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  out.degraded = out.targets.size() < spec_.replicas;
+  return out;
+}
+
+}  // namespace lowdiff::tier

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file placement.h
+/// PlacementPolicy: which tiers a checkpoint record is replicated to.
+///
+/// A policy is `k` replicas spread over an ordered tier preference, with
+/// replicas required to land in *distinct failure domains* by default —
+/// that is the property that closes the paper's single-server-loss gap.
+///
+/// Compact grammar (documented in DESIGN.md §5):
+///
+///     policy   := k '@' tier (',' tier)* ('/q' quorum)?
+///     tier     := 'local' | 'peer' | 'remote'
+///     k, quorum := positive integer
+///
+/// Examples:
+///   "1@local"             — paper baseline: one copy on the origin SSD
+///   "2@local,peer"        — origin SSD + a peer server's RAM
+///   "3@local,peer,remote/q2" — three tiers, durable at 2 commits
+///
+/// A quorum of 0 (or no `/q` suffix) resolves to a majority of k.  plan()
+/// assigns replicas round-robin across the listed tiers — one per tier kind
+/// per round, so "2@local,peer" is origin SSD *plus* a peer's RAM, and
+/// k greater than the number of listed kinds wraps around for more of the
+/// same mix.  Within a tier kind candidates are ordered by proximity to the
+/// origin server (origin's own SSD first; peers in ring order starting at
+/// origin+1); dead targets and already-used failure domains are skipped.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tier/topology.h"
+
+namespace lowdiff::tier {
+
+/// Ordered placement for one record: `targets[0]` is the primary (written
+/// synchronously); the rest are async replicas.  `degraded` is set when
+/// fewer than the requested k targets were available.
+struct PlacementPlan {
+  std::vector<TierTarget*> targets;
+  std::size_t quorum = 1;
+  bool degraded = false;
+};
+
+class PlacementPolicy {
+ public:
+  struct Spec {
+    std::size_t replicas = 2;  ///< k
+    std::vector<TierKind> preference = {TierKind::kLocalSsd,
+                                        TierKind::kPeerMemory,
+                                        TierKind::kRemoteShared};
+    bool distinct_domains = true;
+    std::size_t quorum = 0;  ///< 0 = majority of k
+  };
+
+  explicit PlacementPolicy(Spec spec);
+
+  /// Parses the grammar above; throws Error on malformed input.
+  static PlacementPolicy parse(const std::string& text);
+
+  const Spec& spec() const { return spec_; }
+  std::size_t replicas() const { return spec_.replicas; }
+  /// Resolved durability quorum (majority of k unless pinned).
+  std::size_t quorum() const;
+  /// Round-trips to the grammar (metrics labels, bench tables).
+  std::string to_string() const;
+
+  /// Ordered surviving targets for a record originating on `origin_server`.
+  PlacementPlan plan(TierTopology& topo, std::size_t origin_server) const;
+
+ private:
+  Spec spec_;
+};
+
+}  // namespace lowdiff::tier

@@ -1,0 +1,355 @@
+#include "tier/replicator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/atomic_commit.h"
+
+namespace lowdiff::tier {
+
+namespace {
+
+/// Aliveness gate: every operation against a tier whose failure domain is
+/// down fails with kUnavailable, even when raced by in-flight replica jobs.
+/// (The physical model: requests to a dead server cannot land.)
+class GatedBackend final : public StorageBackend {
+ public:
+  GatedBackend(const TierTopology* topo, const TierTarget* target)
+      : topo_(topo), target_(target) {}
+
+  Status write(const std::string& key, std::span<const std::byte> bytes) override {
+    if (!alive()) return down();
+    return target_->backend->write(key, bytes);
+  }
+  Result<std::vector<std::byte>> read(const std::string& key) const override {
+    if (!alive()) return Result<std::vector<std::byte>>(down());
+    return target_->backend->read(key);
+  }
+  bool exists(const std::string& key) const override {
+    return alive() && target_->backend->exists(key);
+  }
+  void remove(const std::string& key) override {
+    if (alive()) target_->backend->remove(key);
+  }
+  std::vector<std::string> list() const override {
+    if (!alive()) return {};
+    return target_->backend->list();
+  }
+  StorageStats stats() const override { return target_->backend->stats(); }
+  Status sync() override {
+    if (!alive()) return down();
+    return target_->backend->sync();
+  }
+
+ private:
+  bool alive() const { return topo_->alive(*target_); }
+  Status down() const {
+    return Status(ErrorCode::kUnavailable,
+                  "tier " + target_->name + ": failure domain is down");
+  }
+
+  const TierTopology* topo_;
+  const TierTarget* target_;
+};
+
+struct ReplicationObs {
+  obs::Counter& records_total;
+  obs::Counter& degraded_total;
+  obs::Counter& replica_jobs_total;
+
+  static ReplicationObs resolve() {
+    auto& reg = obs::Registry::global();
+    return ReplicationObs{reg.counter("tier.replication.records_total"),
+                          reg.counter("tier.replication.degraded_total"),
+                          reg.counter("tier.replication.replica_jobs_total")};
+  }
+};
+
+}  // namespace
+
+struct Replicator::Lane {
+  TierTarget* target;
+  std::shared_ptr<GatedBackend> gated;
+  std::unique_ptr<AsyncWriter> writer;
+  obs::Counter& writes_total;
+  obs::Counter& bytes_written_total;
+  obs::Counter& reads_total;
+  obs::Counter& bytes_read_total;
+  obs::Counter& read_corrupt_total;
+
+  Lane(TierTopology* topo, TierTarget* t, std::size_t queue_depth)
+      : target(t),
+        gated(std::make_shared<GatedBackend>(topo, t)),
+        writer(std::make_unique<AsyncWriter>(gated, queue_depth)),
+        writes_total(obs::Registry::global().counter("tier." + t->name +
+                                                     ".writes_total")),
+        bytes_written_total(obs::Registry::global().counter(
+            "tier." + t->name + ".bytes_written_total")),
+        reads_total(obs::Registry::global().counter("tier." + t->name +
+                                                    ".reads_total")),
+        bytes_read_total(obs::Registry::global().counter("tier." + t->name +
+                                                         ".bytes_read_total")),
+        read_corrupt_total(obs::Registry::global().counter(
+            "tier." + t->name + ".read_corrupt_total")) {}
+};
+
+Replicator::Replicator(std::shared_ptr<TierTopology> topology,
+                       PlacementPolicy policy, Options options)
+    : topology_(std::move(topology)), policy_(std::move(policy)),
+      options_(options) {
+  LOWDIFF_ENSURE(topology_ != nullptr, "null topology");
+  LOWDIFF_ENSURE(topology_->size() > 0, "empty topology");
+  // Lanes pin TierTarget addresses: the topology must be fully built
+  // before a Replicator is constructed over it.
+  lanes_.reserve(topology_->size());
+  for (std::size_t i = 0; i < topology_->size(); ++i) {
+    lanes_.push_back(std::make_unique<Lane>(topology_.get(),
+                                            &topology_->target(i),
+                                            options_.writer_queue_depth));
+  }
+}
+
+Replicator::~Replicator() {
+  for (auto& lane : lanes_) lane->writer->shutdown();
+}
+
+Replicator::Lane& Replicator::lane_of(const TierTarget& target) const {
+  for (const auto& lane : lanes_) {
+    if (lane->target == &target) return *lane;
+  }
+  throw Error("tier target " + target.name + " has no lane",
+              std::source_location::current());
+}
+
+Status Replicator::write(const std::string& key,
+                         std::span<const std::byte> bytes) {
+  LOWDIFF_TRACE_SPAN("tier.replicate", "tier");
+  static thread_local ReplicationObs robs = ReplicationObs::resolve();
+  const PlacementPlan plan = policy_.plan(*topology_, options_.origin_server);
+  if (plan.targets.empty()) {
+    return Status(ErrorCode::kUnavailable,
+                  "no surviving tier target to place " + key);
+  }
+  robs.records_total.add();
+  if (plan.degraded) robs.degraded_total.add();
+
+  // Primary replica: synchronous, its status is the caller's status (the
+  // CheckpointStore retry/commit machinery wraps this call).
+  Lane& primary = lane_of(*plan.targets[0]);
+  const Status status = primary.gated->write(key, bytes);
+  if (status.ok()) {
+    primary.writes_total.add();
+    primary.bytes_written_total.add(bytes.size());
+  }
+
+  // Secondary replicas: async, FIFO per tier (preserves the commit
+  // protocol's data-before-marker order within each tier's manifest).
+  for (std::size_t i = 1; i < plan.targets.size(); ++i) {
+    Lane& lane = lane_of(*plan.targets[i]);
+    Lane* lane_ptr = &lane;
+    std::vector<std::byte> copy(bytes.begin(), bytes.end());
+    const std::size_t size = copy.size();
+    robs.replica_jobs_total.add();
+    lane.writer->submit(key, std::move(copy), [lane_ptr, size] {
+      lane_ptr->writes_total.add();
+      lane_ptr->bytes_written_total.add(size);
+    });
+  }
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.writes;
+    stats_.bytes_written += bytes.size() * plan.targets.size();
+  }
+  return status;
+}
+
+std::vector<Replicator::Lane*> Replicator::read_candidates() const {
+  std::vector<Lane*> out;
+  out.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    if (topology_->alive(*lane->target)) out.push_back(lane.get());
+  }
+  std::sort(out.begin(), out.end(), [](const Lane* a, const Lane* b) {
+    return a->target->read_bytes_per_sec > b->target->read_bytes_per_sec;
+  });
+  return out;
+}
+
+Result<std::vector<std::byte>> Replicator::read(const std::string& key) const {
+  LOWDIFF_TRACE_SPAN("tier.read", "tier");
+  using R = Result<std::vector<std::byte>>;
+  const auto candidates = read_candidates();
+
+  auto account = [&](Lane* lane, std::uint64_t bytes) {
+    lane->reads_total.add();
+    lane->bytes_read_total.add(bytes);
+    const double seconds =
+        static_cast<double>(bytes) / lane->target->read_bytes_per_sec;
+    {
+      std::lock_guard lock(totals_mutex_);
+      auto& totals = totals_[lane->target->name];
+      ++totals.reads;
+      totals.bytes += bytes;
+      totals.seconds += seconds;
+    }
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.reads;
+    stats_.bytes_read += bytes;
+  };
+  auto note_corrupt = [&](Lane* lane) {
+    lane->read_corrupt_total.add();
+    std::lock_guard lock(totals_mutex_);
+    ++totals_[lane->target->name].corrupt;
+  };
+
+  bool saw_corrupt = false;
+  Status last_error(ErrorCode::kNotFound, "no surviving tier holds " + key);
+
+  if (is_commit_marker(key)) {
+    // Serve the first marker that *parses* — a bit-flipped marker on the
+    // fastest tier must not mask a healthy one elsewhere.
+    for (Lane* lane : candidates) {
+      if (!lane->gated->exists(key)) continue;
+      auto marker = lane->gated->read(key);
+      if (!marker.ok()) {
+        last_error = marker.status();
+        continue;
+      }
+      if (!parse_commit_marker(*marker).ok()) {
+        saw_corrupt = true;
+        note_corrupt(lane);
+        continue;
+      }
+      account(lane, marker->size());
+      return marker;
+    }
+  } else {
+    // Verified pass: serve from the fastest tier whose replica matches its
+    // own tier's commit manifest; fall across tiers on CRC failure.
+    std::vector<Lane*> unverified;
+    for (Lane* lane : candidates) {
+      if (!lane->gated->exists(key)) continue;
+      auto marker = lane->gated->read(commit_marker_key(key));
+      if (!marker.ok()) {
+        if (marker.status().code() == ErrorCode::kNotFound) {
+          unverified.push_back(lane);  // data landed, marker not (yet) there
+        } else {
+          last_error = marker.status();
+        }
+        continue;
+      }
+      auto record = parse_commit_marker(*marker);
+      if (!record.ok()) {
+        saw_corrupt = true;
+        note_corrupt(lane);
+        continue;
+      }
+      auto data = lane->gated->read(key);
+      if (!data.ok()) {
+        if (data.status().retryable()) {
+          last_error = data.status();
+        } else {
+          saw_corrupt = true;
+          note_corrupt(lane);
+        }
+        continue;
+      }
+      if (data->size() != record->data_len ||
+          crc32c(data->data(), data->size()) != record->data_crc) {
+        saw_corrupt = true;
+        note_corrupt(lane);
+        continue;
+      }
+      account(lane, marker->size() + data->size());
+      return data;
+    }
+    // Unverified fallback: uncommitted objects are still readable (the
+    // CheckpointStore layer decides what marker-less data means).
+    for (Lane* lane : unverified) {
+      auto data = lane->gated->read(key);
+      if (data.ok()) {
+        account(lane, data->size());
+        return data;
+      }
+      last_error = data.status();
+    }
+  }
+
+  if (saw_corrupt) {
+    return R(ErrorCode::kCorrupted,
+             "every surviving replica of " + key + " failed validation");
+  }
+  return R(last_error);
+}
+
+bool Replicator::exists(const std::string& key) const {
+  for (const auto& lane : lanes_) {
+    if (lane->gated->exists(key)) return true;
+  }
+  return false;
+}
+
+void Replicator::remove(const std::string& key) {
+  // Drain replica queues first so a pending job cannot resurrect the key.
+  flush();
+  for (const auto& lane : lanes_) lane->gated->remove(key);
+}
+
+std::vector<std::string> Replicator::list() const {
+  std::set<std::string> merged;
+  for (const auto& lane : lanes_) {
+    for (auto& key : lane->gated->list()) merged.insert(std::move(key));
+  }
+  return {merged.begin(), merged.end()};
+}
+
+StorageStats Replicator::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+Status Replicator::sync() {
+  flush();
+  Status first_error;
+  for (const auto& lane : lanes_) {
+    if (!topology_->alive(*lane->target)) continue;
+    if (Status st = lane->gated->sync(); !st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+void Replicator::flush() {
+  for (const auto& lane : lanes_) lane->writer->flush();
+}
+
+std::size_t Replicator::committed_replicas(const std::string& key) const {
+  std::size_t count = 0;
+  for (const auto& lane : lanes_) {
+    if (lane->gated->exists(commit_marker_key(key))) ++count;
+  }
+  return count;
+}
+
+bool Replicator::durable(const std::string& key) const {
+  return committed_replicas(key) >= policy_.quorum();
+}
+
+std::map<std::string, SourceTotals> Replicator::read_totals() const {
+  std::lock_guard lock(totals_mutex_);
+  return totals_;
+}
+
+std::uint64_t Replicator::failed_replica_writes() const {
+  std::uint64_t failed = 0;
+  for (const auto& lane : lanes_) failed += lane->writer->failed_jobs();
+  return failed;
+}
+
+}  // namespace lowdiff::tier

@@ -1,0 +1,64 @@
+#include "tier/tier_recovery.h"
+
+#include "obs/trace.h"
+
+namespace lowdiff::tier {
+
+TierAwareRecoveryEngine::TierAwareRecoveryEngine(
+    ModelSpec spec, std::unique_ptr<Optimizer> optimizer,
+    std::unique_ptr<Compressor> compressor)
+    : engine_(std::move(spec), std::move(optimizer), std::move(compressor)) {}
+
+void TierAwareRecoveryEngine::fill_read_sources(
+    const Replicator& replicas,
+    const std::map<std::string, SourceTotals>& before, RecoveryReport* report) {
+  if (report == nullptr) return;
+  // Replace the engine's single-backend aggregate with the per-tier view.
+  report->read_sources.clear();
+  for (const auto& [name, totals] : replicas.read_totals()) {
+    const auto it = before.find(name);
+    SourceTotals delta = totals;
+    if (it != before.end()) {
+      delta.reads -= it->second.reads;
+      delta.bytes -= it->second.bytes;
+      delta.seconds -= it->second.seconds;
+      delta.corrupt -= it->second.corrupt;
+    }
+    if (delta.reads == 0 && delta.corrupt == 0) continue;
+    report->read_sources[name] = ReadSourceTotals{
+        delta.reads, delta.bytes, delta.seconds};
+  }
+}
+
+ModelState TierAwareRecoveryEngine::recover(std::shared_ptr<Replicator> replicas,
+                                            RecoveryReport* report) const {
+  LOWDIFF_TRACE_SPAN("tier.recover", "tier");
+  const auto before = replicas->read_totals();
+  CheckpointStore store(replicas);
+  ModelState state = engine_.recover_serial(store, report);
+  fill_read_sources(*replicas, before, report);
+  return state;
+}
+
+ModelState TierAwareRecoveryEngine::recover_parallel(
+    std::shared_ptr<Replicator> replicas, ThreadPool& pool,
+    RecoveryReport* report) const {
+  LOWDIFF_TRACE_SPAN("tier.recover", "tier");
+  const auto before = replicas->read_totals();
+  CheckpointStore store(replicas);
+  ModelState state = engine_.recover_parallel(store, pool, report);
+  fill_read_sources(*replicas, before, report);
+  return state;
+}
+
+ModelState TierAwareRecoveryEngine::recover_after_failures(
+    std::shared_ptr<Replicator> replicas,
+    const std::vector<std::size_t>& failed_servers,
+    RecoveryReport* report) const {
+  for (std::size_t server : failed_servers) {
+    replicas->topology().fail_domain(server);
+  }
+  return recover(std::move(replicas), report);
+}
+
+}  // namespace lowdiff::tier

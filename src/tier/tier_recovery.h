@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file tier_recovery.h
+/// Failure-domain-aware recovery over replicated tiers.
+///
+/// Extends the core RecoveryEngine (Algorithm 1 + Fig. 7) with placement
+/// awareness: given the set of failed servers, the surviving tiers form
+/// the read view (TierTopology::fail_domain), the Replicator serves every
+/// record from the bandwidth-optimal surviving replica and falls back
+/// across tiers on CRC failure, and the existing corruption-aware
+/// truncation semantics apply only when *no* surviving replica of a
+/// record validates.  The replay math is untouched — this class composes
+/// the proven engine rather than re-deriving it — so bit-exactness carries
+/// over verbatim.
+///
+/// RecoveryReport::read_sources is filled with the per-tier breakdown
+/// (reads, bytes, modeled seconds at each tier's read bandwidth), which is
+/// what Exp. 11 plots as "recovery time vs k and tier mix".
+
+#include <memory>
+#include <vector>
+
+#include "core/recovery.h"
+#include "tier/replicator.h"
+
+namespace lowdiff::tier {
+
+class TierAwareRecoveryEngine {
+ public:
+  /// `optimizer` and `compressor` must match what training used.
+  TierAwareRecoveryEngine(ModelSpec spec, std::unique_ptr<Optimizer> optimizer,
+                          std::unique_ptr<Compressor> compressor);
+
+  /// Serial replay over the surviving replica view.
+  ModelState recover(std::shared_ptr<Replicator> replicas,
+                     RecoveryReport* report = nullptr) const;
+
+  /// Parallel replay (load + decompress on `pool`), same view.
+  ModelState recover_parallel(std::shared_ptr<Replicator> replicas,
+                              ThreadPool& pool,
+                              RecoveryReport* report = nullptr) const;
+
+  /// Marks every listed server's failure domain down (volatile tiers lose
+  /// their contents), then recovers from what survives.
+  ModelState recover_after_failures(std::shared_ptr<Replicator> replicas,
+                                    const std::vector<std::size_t>& failed_servers,
+                                    RecoveryReport* report = nullptr) const;
+
+ private:
+  /// Swaps the engine's aggregate source entry for the per-tier breakdown.
+  static void fill_read_sources(const Replicator& replicas,
+                                const std::map<std::string, SourceTotals>& before,
+                                RecoveryReport* report);
+
+  RecoveryEngine engine_;
+};
+
+}  // namespace lowdiff::tier

@@ -107,6 +107,57 @@ TEST(Recovery, ParallelAdditiveEqualsSerialForPlainSgd) {
   EXPECT_EQ(report.merge_rounds, 5u);
 }
 
+TEST(Recovery, ReportAccountsEveryByteReadAndItsSource) {
+  const auto spec = spec_of(350);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Adam adam;
+  TopKCompressor comp(0.05);
+  const auto trained =
+      train_with_reuse(store, spec, adam, comp, /*full_at=*/2, /*iters=*/25, 19);
+
+  const auto before = mem->stats();
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  RecoveryReport report;
+  const auto recovered = engine.recover_serial(store, &report);
+  EXPECT_TRUE(trained.bit_equal(recovered));
+
+  // bytes_read is the backend's own delta (markers included), attributed
+  // to the single flat source "storage" with one read per record.
+  EXPECT_EQ(report.bytes_read, mem->stats().bytes_read - before.bytes_read);
+  EXPECT_GT(report.bytes_read, 0u);
+  EXPECT_GT(report.read_seconds, 0.0);
+  ASSERT_EQ(report.read_sources.size(), 1u);
+  const auto& source = report.read_sources.at("storage");
+  EXPECT_EQ(source.bytes, report.bytes_read);
+  EXPECT_EQ(source.reads, report.diffs_replayed + 1);  // diffs + the full
+  EXPECT_EQ(source.seconds, report.read_seconds);
+}
+
+TEST(Recovery, ParallelReportAccountsBytesReadLikeSerial) {
+  const auto spec = spec_of(280);
+  auto mem = std::make_shared<MemStorage>();
+  CheckpointStore store(mem);
+  Adam adam;
+  TopKCompressor comp(0.1);
+  train_with_reuse(store, spec, adam, comp, 3, 30, 23);
+
+  RecoveryEngine engine(spec, adam.clone(), comp.clone());
+  ThreadPool pool(4);
+  RecoveryReport serial_report, parallel_report;
+  (void)engine.recover_serial(store, &serial_report);
+  (void)engine.recover_parallel(store, pool, &parallel_report);
+
+  // Same records, same bytes — overlap changes wall time, not I/O volume.
+  EXPECT_EQ(parallel_report.bytes_read, serial_report.bytes_read);
+  EXPECT_GT(parallel_report.read_seconds, 0.0);
+  ASSERT_EQ(parallel_report.read_sources.size(), 1u);
+  EXPECT_EQ(parallel_report.read_sources.at("storage").bytes,
+            parallel_report.bytes_read);
+  EXPECT_EQ(parallel_report.read_sources.at("storage").reads,
+            parallel_report.diffs_replayed + 1);
+}
+
 TEST(Recovery, NoDiffsRecoversFullOnly) {
   const auto spec = spec_of(64);
   auto mem = std::make_shared<MemStorage>();

@@ -22,6 +22,7 @@
 #include "storage/file_storage.h"
 #include "storage/mem_storage.h"
 #include "storage/serializer.h"
+#include "storage/stacking.h"
 #include "storage/throttled.h"
 #include "tensor/ops.h"
 
@@ -673,6 +674,107 @@ TEST(AsyncWriter, SubmitAfterShutdownRace) {
   // Every accepted job completed; later submits were cleanly rejected.
   EXPECT_FALSE(writer.submit("late", bytes_of("x")));
   EXPECT_EQ(writer.failed_jobs(), 0u);
+}
+
+// --- canonical decorator stacking (storage/stacking.h) ----------------------
+//
+// The physical model is link-then-device: Throttled(FaultInjecting(Mem)).
+// These tests pin the composition — reordering the decorators breaks them.
+
+TEST(StorageStacking, TornWriteStillConsumesLinkBandwidth) {
+  FaultSpec faults;
+  faults.torn_write_rate = 1.0;
+  auto stack =
+      make_stacked_backend(LinkSpec{1e6, 0.0}, faults, /*time_scale=*/1e-9);
+  const std::vector<std::byte> payload(50'000, std::byte{0xAB});
+
+  EXPECT_FALSE(stack.root->write("full/0", payload).ok());
+  EXPECT_EQ(stack.faults->fault_stats().torn_writes, 1u);
+  // The bytes crossed the wire before the device tore them: full link
+  // occupancy for the full object, even though only a prefix landed.
+  EXPECT_NEAR(stack.root->busy_time(), 0.05, 1e-9);
+  ASSERT_TRUE(stack.base->exists("full/0"));
+  EXPECT_LT(stack.base->read("full/0")->size(), payload.size());
+}
+
+TEST(StorageStacking, LatencySpikeAddsToLinkTimeInsteadOfHidingInIt) {
+  FaultSpec faults;
+  faults.latency_spike_rate = 1.0;
+  faults.latency_spike_sec = 20e-3;
+  auto stack = make_stacked_backend(LinkSpec{1e9, 0.0}, faults, 1e-9);
+  const std::vector<std::byte> payload(1024, std::byte{1});
+
+  Stopwatch sw;
+  ASSERT_TRUE(stack.root->write("k", payload).ok());
+  // The device stall is real wall time *on top of* the link wait; stacked
+  // the other way it would serialize before the token bucket and hide
+  // inside the modeled occupancy.
+  EXPECT_GE(sw.elapsed_sec(), 15e-3);
+  EXPECT_EQ(stack.faults->fault_stats().latency_spikes, 1u);
+  EXPECT_NEAR(stack.root->busy_time(), 1024 / 1e9, 1e-12);
+}
+
+TEST(StorageStacking, SilentBitFlipCaughtByCommittedRead) {
+  FaultSpec faults;
+  faults.bit_flip_rate = 1.0;
+  auto stack = make_stacked_backend(LinkSpec{1e9, 0.0}, faults, 1e-9);
+  const auto payload = bytes_of("synchronized gradient payload");
+
+  // The device corrupts below the throttle but reports success...
+  EXPECT_TRUE(stack.root->write("diff/1", payload).ok());
+  EXPECT_EQ(stack.faults->fault_stats().bit_flips, 1u);
+  // ...while the commit marker carries the CRC of the intended bytes
+  // (set_armed stays reachable through the stack handles).
+  stack.faults->set_armed(false);
+  ASSERT_TRUE(stack.root
+                  ->write(commit_marker_key("diff/1"),
+                          make_commit_marker(payload))
+                  .ok());
+
+  Xoshiro256 rng(5);
+  const auto read = committed_read(*stack.root, "diff/1", fast_policy(), rng);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), ErrorCode::kCorrupted);
+}
+
+TEST(StorageStacking, ReadPathChargesLinkOnlyForBytesReturned) {
+  auto stack = make_stacked_backend(LinkSpec{1e6, 0.0}, {}, 1e-9);
+  const std::vector<std::byte> payload(10'000, std::byte{7});
+  ASSERT_TRUE(stack.root->write("full/0", payload).ok());
+  const double after_write = stack.root->busy_time();
+  EXPECT_NEAR(after_write, 0.01, 1e-9);
+
+  // A successful read occupies the link for exactly the returned bytes —
+  // the same transfer-time the recovery source-selection model charges.
+  ASSERT_TRUE(stack.root->read("full/0").ok());
+  EXPECT_NEAR(stack.root->busy_time() - after_write, 0.01, 1e-9);
+
+  // Metadata operations and missing-key reads move no payload bytes.
+  const double before_meta = stack.root->busy_time();
+  EXPECT_TRUE(stack.root->exists("full/0"));
+  EXPECT_FALSE(stack.root->exists("missing"));
+  (void)stack.root->list();
+  EXPECT_FALSE(stack.root->read("missing").ok());
+  EXPECT_EQ(stack.root->busy_time(), before_meta);
+}
+
+TEST(StorageStacking, FailedReadCostsNoReadBandwidth) {
+  FaultSpec faults;
+  faults.read_error_rate = 1.0;
+  auto stack = make_stacked_backend(LinkSpec{1e6, 0.0}, faults, 1e-9);
+  stack.faults->set_armed(false);
+  ASSERT_TRUE(
+      stack.root->write("full/0", std::vector<std::byte>(4096, std::byte{1}))
+          .ok());
+  stack.faults->set_armed(true);
+
+  const double before = stack.root->busy_time();
+  const auto read = stack.root->read("full/0");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), ErrorCode::kTransient);
+  // A clean device read error returns no bytes, so the link stays idle —
+  // only possible with fault injection *below* the throttle.
+  EXPECT_EQ(stack.root->busy_time(), before);
 }
 
 TEST(AsyncWriter, CommittedModeWritesMarkers) {
