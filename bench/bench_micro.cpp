@@ -7,8 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
 #include "bench_util.h"
+#include "common/buffer_pool.h"
 #include "common/crc32.h"
+#include "common/thread_pool.h"
+#include "obs/datapath.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "compress/error_feedback.h"
@@ -18,6 +26,8 @@
 #include "storage/mem_storage.h"
 #include "common/rng.h"
 #include "compress/merge.h"
+#include "compress/quant8.h"
+#include "compress/randomk.h"
 #include "compress/topk.h"
 #include "model/model_state.h"
 #include "optim/adam.h"
@@ -115,6 +125,96 @@ void BM_MergeSparseSum(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MergeSparseSum)->Arg(1 << 20);
+
+// --- Parallel datapath (chunked compression, k-way merge, pooled I/O) -----
+
+std::vector<CompressedGrad> make_batch(std::size_t n, std::size_t count) {
+  TopKCompressor comp(0.01);
+  std::vector<CompressedGrad> payloads;
+  payloads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    payloads.push_back(
+        comp.compress(random_tensor(n, 100 + i).cspan(), i));
+  }
+  return payloads;
+}
+
+void BM_TopKCompressParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto grad = random_tensor(n, 1);
+  ThreadPool pool(threads);
+  TopKCompressor comp(0.01);
+  comp.set_thread_pool(&pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.compress(grad.cspan(), 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKCompressParallel)
+    ->Args({1 << 20, 8})
+    ->Args({1 << 22, 8});
+
+void BM_MergeSparseSumKWay(benchmark::State& state) {
+  const auto payloads =
+      make_batch(static_cast<std::size_t>(state.range(0)),
+                 static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_sparse_sum(payloads));
+  }
+}
+BENCHMARK(BM_MergeSparseSumKWay)->Args({1 << 20, 32});
+
+void BM_MergeSparseSumPairwise(benchmark::State& state) {
+  const auto payloads =
+      make_batch(static_cast<std::size_t>(state.range(0)),
+                 static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_sparse_sum_pairwise(payloads));
+  }
+}
+BENCHMARK(BM_MergeSparseSumPairwise)->Args({1 << 20, 32});
+
+void BM_Crc32Sw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<unsigned char> data(n, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c_sw(0, data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32Sw)->Arg(1 << 24);
+
+void BM_Crc32Chunked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<unsigned char> data(n, 0xAB);
+  ThreadPool pool(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c_chunked(data.data(), data.size(), &pool));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32Chunked)->Arg(1 << 24);
+
+void BM_SerializeBatchPooled(benchmark::State& state) {
+  BatchedGrad batch;
+  batch.members = make_batch(1 << 20, 8);
+  batch.first_iteration = 0;
+  batch.last_iteration = 7;
+  BufferPool pool;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto buf = serialize_batch(batch, pool);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SerializeBatchPooled);
 
 void BM_ReusingQueueHandoff(benchmark::State& state) {
   ReusingQueue<CompressedGrad> queue(64);
@@ -245,6 +345,129 @@ void BM_ShardedFullCheckpoint(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedFullCheckpoint);
 
+// --- Datapath verification gate -------------------------------------------
+//
+// Before the benchmark suite runs, prove on THIS machine that the parallel
+// datapath is bit-identical to the serial one, and measure the serial vs
+// parallel speedup in the same process.  CI runs `bench_micro --smoke
+// --json`; any mismatch exits nonzero and fails the build.  The speedups
+// land in the registry (datapath.verify.*) and therefore in
+// BENCH_micro.json.
+
+template <typename F>
+double best_seconds(F&& f, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+bool run_datapath_verification() {
+  const bool smoke = lowdiff::bench::options().smoke;
+  // Acceptance sizes: n >= 2^22 at 8 threads, batches of B >= 16.  Smoke
+  // mode shrinks the arrays (CI checks bit-exactness, not rates) but keeps
+  // n above the parallel-path threshold so the chunked code actually runs.
+  const std::size_t n = smoke ? (std::size_t{1} << 18) : (std::size_t{1} << 22);
+  const std::size_t batch_size = smoke ? 16 : 32;
+  const int reps = smoke ? 1 : 3;
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    if (!cond) {
+      std::fprintf(stderr, "[datapath] MISMATCH: %s\n", what.c_str());
+      ok = false;
+    }
+  };
+
+  ThreadPool pool2(2);
+  ThreadPool pool3(3);
+  ThreadPool pool8(8);
+  ThreadPool* pools[] = {&pool2, &pool3, &pool8};
+
+  // 1. Every compressor, every pool size, three seeds: byte-identical
+  //    serialized payloads.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto grad = random_tensor(n, seed);
+    std::vector<std::unique_ptr<Compressor>> comps;
+    comps.push_back(std::make_unique<TopKCompressor>(0.01));
+    comps.push_back(std::make_unique<RandomKCompressor>(0.01, seed));
+    comps.push_back(std::make_unique<Quant8Compressor>());
+    for (auto& comp : comps) {
+      comp->set_thread_pool(nullptr);
+      const auto serial = comp->compress(grad.cspan(), seed).serialize();
+      for (ThreadPool* pool : pools) {
+        comp->set_thread_pool(pool);
+        const auto parallel = comp->compress(grad.cspan(), seed).serialize();
+        check(parallel == serial,
+              comp->name() + " parallel(" + std::to_string(pool->size()) +
+                  ") != serial, seed " + std::to_string(seed));
+      }
+    }
+  }
+
+  // 2. K-way merge == pairwise reference, byte for byte.
+  const auto payloads = make_batch(n, batch_size);
+  check(merge_sparse_sum(payloads).serialize() ==
+            merge_sparse_sum_pairwise(payloads).serialize(),
+        "k-way merge != pairwise merge");
+
+  // 3. CRC kernels agree: hardware == software == chunked == combine.
+  {
+    const auto bytes = random_tensor(n / 4, 99);
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+    const std::size_t len = n;  // n/4 floats = n bytes
+    const std::uint32_t flat = crc32c(p, len);
+    check(crc32c_sw(0, p, len) == flat, "crc32c software kernel != dispatch");
+    check(crc32c_chunked(p, len, &pool8, 1 << 12) == flat,
+          "chunk-parallel crc32c != flat crc32c");
+    const std::size_t cut = len / 3;
+    check(crc32c_combine(crc32c(p, cut), crc32c(p + cut, len - cut),
+                         len - cut) == flat,
+          "crc32c_combine != flat crc32c");
+  }
+
+  // 4. Speedups, measured in the same run that proved bit-exactness.
+  const auto grad = random_tensor(n, 1);
+  TopKCompressor topk(0.01);
+  const double topk_serial =
+      best_seconds([&] { benchmark::DoNotOptimize(topk.compress(grad.cspan(), 0)); },
+                   reps);
+  topk.set_thread_pool(&pool8);
+  const double topk_parallel =
+      best_seconds([&] { benchmark::DoNotOptimize(topk.compress(grad.cspan(), 0)); },
+                   reps);
+  const double merge_pairwise = best_seconds(
+      [&] { benchmark::DoNotOptimize(merge_sparse_sum_pairwise(payloads)); },
+      reps);
+  const double merge_kway = best_seconds(
+      [&] { benchmark::DoNotOptimize(merge_sparse_sum(payloads)); }, reps);
+
+  const double topk_speedup = topk_serial / topk_parallel;
+  const double merge_speedup = merge_pairwise / merge_kway;
+
+  auto& reg = obs::Registry::global();
+  reg.gauge("datapath.verify.ok").set(ok ? 1.0 : 0.0);
+  reg.gauge("datapath.verify.n").set(static_cast<double>(n));
+  reg.gauge("datapath.verify.batch_size").set(static_cast<double>(batch_size));
+  reg.gauge("datapath.verify.topk_speedup_x").set(topk_speedup);
+  reg.gauge("datapath.verify.merge_speedup_x").set(merge_speedup);
+  obs::publish_datapath_metrics();
+
+  std::printf(
+      "[datapath] verify %s  (n=%zu, B=%zu)\n"
+      "[datapath] topk  serial %.3f ms  parallel(8) %.3f ms  speedup %.2fx\n"
+      "[datapath] merge pairwise %.3f ms  k-way %.3f ms  speedup %.2fx\n",
+      ok ? "OK" : "FAILED", n, batch_size, topk_serial * 1e3,
+      topk_parallel * 1e3, topk_speedup, merge_pairwise * 1e3,
+      merge_kway * 1e3, merge_speedup);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +482,12 @@ int main(int argc, char** argv) {
   argc = bench_argc;
   argv = args.data();
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Bit-exactness gate first: a parallel/serial mismatch fails the run
+  // before any rates are reported.
+  if (!run_datapath_verification()) {
+    benchmark::Shutdown();
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   lowdiff::bench::dump_registry_json();

@@ -1,0 +1,90 @@
+#include "common/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace lowdiff {
+
+void PooledBuffer::reset() {
+  if (buf_.data() != nullptr && pool_ != nullptr) {
+    pool_->release(std::move(buf_));
+  }
+  buf_ = AlignedBuffer();
+  size_ = 0;
+  pool_ = nullptr;
+}
+
+namespace {
+
+// Round capacities up so a stream of records with jittering sizes (batched
+// diffs grow and shrink a little each batch) still reuses cached buffers.
+std::size_t round_capacity(std::size_t size) {
+  if (size <= 4096) return 4096;
+  return std::bit_ceil(size);
+}
+
+}  // namespace
+
+PooledBuffer BufferPool::acquire(std::size_t size) {
+  const std::size_t want = round_capacity(size);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquires_;
+    // Best fit: smallest cached buffer with capacity >= want.
+    auto best = free_.end();
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->size() >= want &&
+          (best == free_.end() || it->size() < best->size())) {
+        best = it;
+      }
+    }
+    if (best != free_.end()) {
+      ++hits_;
+      AlignedBuffer buf = std::move(*best);
+      *best = std::move(free_.back());
+      free_.pop_back();
+      cached_bytes_ -= buf.size();
+      return PooledBuffer(std::move(buf), size, this);
+    }
+    ++allocs_;
+  }
+  // Allocate outside the lock.
+  return PooledBuffer(AlignedBuffer(want), size, this);
+}
+
+void BufferPool::release(AlignedBuffer buf) {
+  if (buf.data() == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() >= options_.max_cached_buffers ||
+      cached_bytes_ + buf.size() > options_.max_cached_bytes) {
+    ++dropped_;
+    return;  // buf frees on scope exit
+  }
+  cached_bytes_ += buf.size();
+  free_.push_back(std::move(buf));
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.acquires = acquires_;
+  s.hits = hits_;
+  s.allocs = allocs_;
+  s.dropped = dropped_;
+  s.cached_buffers = free_.size();
+  s.cached_bytes = cached_bytes_;
+  return s;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+  cached_bytes_ = 0;
+}
+
+}  // namespace lowdiff

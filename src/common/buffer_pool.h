@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file buffer_pool.h
+/// Reusable arena of AlignedBuffers for the checkpoint datapath.
+///
+/// Every checkpoint record the system persists used to malloc a fresh
+/// std::vector, fill it, and often copy it again on the way to the writer
+/// thread.  At one differential per iteration that is steady-state
+/// allocator traffic on the hot path.  The pool leases aligned buffers
+/// (PooledBuffer) that return automatically on destruction; steady-state
+/// serialization therefore recycles the same few allocations.
+///
+/// Lifetime rules (DESIGN.md §6):
+///  - A PooledBuffer must not outlive the BufferPool it was leased from.
+///    The process-wide BufferPool::global() satisfies this for any buffer
+///    that dies before static teardown (all strategy/writer threads join in
+///    destructors, so their buffers do).
+///  - Buffers are exclusive while leased: the pool never aliases a live
+///    lease.  Sharing after fill is done by converting to ByteBuffer.
+///  - acquire()/release are mutex-protected and thread-safe; the bytes
+///    themselves are owned by exactly one thread until shared.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace lowdiff {
+
+class BufferPool;
+
+/// RAII lease on a pool buffer.  Logical size() is what was requested;
+/// capacity() is the (possibly larger, recycled) allocation behind it.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  PooledBuffer(PooledBuffer&& other) noexcept { swap(other); }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~PooledBuffer() { reset(); }
+
+  /// Returns the allocation to the pool (or frees it for pool-less
+  /// buffers) and empties this handle.
+  void reset();
+
+  void swap(PooledBuffer& other) noexcept {
+    buf_.swap(other.buf_);
+    std::swap(size_, other.size_);
+    std::swap(pool_, other.pool_);
+  }
+
+  std::byte* data() noexcept { return buf_.data(); }
+  const std::byte* data() const noexcept { return buf_.data(); }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::span<std::byte> span() noexcept { return {buf_.data(), size_}; }
+  std::span<const std::byte> cspan() const noexcept {
+    return {buf_.data(), size_};
+  }
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(AlignedBuffer buf, std::size_t size, BufferPool* pool)
+      : buf_(std::move(buf)), size_(size), pool_(pool) {}
+
+  AlignedBuffer buf_;
+  std::size_t size_ = 0;
+  BufferPool* pool_ = nullptr;
+};
+
+/// Thread-safe free-list of AlignedBuffers.  Capacities are rounded up so
+/// records of slightly varying size (batched diffs grow and shrink) still
+/// hit the cache.
+class BufferPool {
+ public:
+  struct Options {
+    /// Buffers retained on the free list; extra returns are freed.
+    std::size_t max_cached_buffers = 16;
+    /// Total bytes retained; returns that would exceed this are freed.
+    std::size_t max_cached_bytes = std::size_t{1} << 28;  // 256 MiB
+  };
+
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t hits = 0;      ///< served from the free list
+    std::uint64_t allocs = 0;    ///< served by a fresh allocation
+    std::uint64_t dropped = 0;   ///< returns freed because of the limits
+    std::size_t cached_buffers = 0;
+    std::size_t cached_bytes = 0;
+  };
+
+  BufferPool() = default;
+  explicit BufferPool(Options options) : options_(options) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Leases a buffer with capacity >= size (logical size() == size).
+  PooledBuffer acquire(std::size_t size);
+
+  /// Process-wide pool used by the serialization datapath.
+  static BufferPool& global();
+
+  Stats stats() const;
+
+  /// Frees every cached buffer (tests; memory-pressure hook).
+  void trim();
+
+ private:
+  friend class PooledBuffer;
+  void release(AlignedBuffer buf);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<AlignedBuffer> free_;
+  std::size_t cached_bytes_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Immutable, cheaply shareable byte payload for async write paths.  Built
+/// from either a std::vector (legacy call sites) or a PooledBuffer (the
+/// zero-copy datapath); copies alias the same bytes, so a record fanned out
+/// to N replica writers is stored once.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+
+  // Intentionally implicit: every existing submit(key, std::move(vec))
+  // call site keeps compiling, one move, no byte copy.
+  ByteBuffer(std::vector<std::byte> bytes) {  // NOLINT(google-explicit-*)
+    auto owner = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+    data_ = owner->data();
+    size_ = owner->size();
+    owner_ = std::move(owner);
+  }
+
+  ByteBuffer(PooledBuffer bytes) {  // NOLINT(google-explicit-*)
+    auto owner = std::make_shared<PooledBuffer>(std::move(bytes));
+    data_ = owner->data();
+    size_ = owner->size();
+    owner_ = std::move(owner);
+  }
+
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::span<const std::byte> cspan() const noexcept { return {data_, size_}; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,96 @@
+/// \file crc32_hw.cpp
+/// Hardware CRC32C kernels.  This translation unit is the only one compiled
+/// with ISA-extension flags (see src/common/CMakeLists.txt), so the rest of
+/// the library stays runnable on baseline CPUs; callers reach the kernel
+/// only after detail::crc32c_hw_supported() says the instruction exists.
+
+#include "common/crc32.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__SSE4_2__)
+#include <nmmintrin.h>
+#define LOWDIFF_CRC32_HW_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define LOWDIFF_CRC32_HW_ARM 1
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
+
+namespace lowdiff::detail {
+
+#if defined(LOWDIFF_CRC32_HW_X86)
+
+bool crc32c_hw_supported() { return __builtin_cpu_supports("sse4.2"); }
+
+std::uint32_t crc32c_hw(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t c = ~crc;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    len -= 8;
+  }
+  auto c32 = static_cast<std::uint32_t>(c);
+  if (len >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c32 = _mm_crc32_u32(c32, word);
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) c32 = _mm_crc32_u8(c32, *p++);
+  return ~c32;
+}
+
+#elif defined(LOWDIFF_CRC32_HW_ARM)
+
+bool crc32c_hw_supported() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  // Compiled with +crc for this target: assume the extension is present.
+  return true;
+#endif
+}
+
+std::uint32_t crc32c_hw(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = __crc32cd(c, word);
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = __crc32cw(c, word);
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) c = __crc32cb(c, *p++);
+  return ~c;
+}
+
+#else
+
+bool crc32c_hw_supported() { return false; }
+
+std::uint32_t crc32c_hw(std::uint32_t crc, const void* data, std::size_t len) {
+  // Never reached: dispatch only selects this kernel when supported().
+  return crc32c_sw(crc, data, len);
+}
+
+#endif
+
+}  // namespace lowdiff::detail

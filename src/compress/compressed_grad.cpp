@@ -7,18 +7,33 @@
 namespace lowdiff {
 namespace {
 
-template <typename T>
-void append(std::vector<std::byte>& out, const T& value) {
-  const auto* p = reinterpret_cast<const std::byte*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
-}
+/// Bounds-unchecked cursor over a pre-sized destination; the caller
+/// (serialize_into) validates the total against serialized_size() once.
+class Writer {
+ public:
+  explicit Writer(std::span<std::byte> out) : out_(out) {}
 
-template <typename T>
-void append_vec(std::vector<std::byte>& out, const std::vector<T>& v) {
-  append(out, static_cast<std::uint64_t>(v.size()));
-  const auto* p = reinterpret_cast<const std::byte*>(v.data());
-  out.insert(out.end(), p, p + v.size() * sizeof(T));
-}
+  template <typename T>
+  void write(const T& value) {
+    std::memcpy(out_.data() + pos_, &value, sizeof(T));
+    pos_ += sizeof(T);
+  }
+
+  template <typename T>
+  void write_vec(const std::vector<T>& v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty()) {
+      std::memcpy(out_.data() + pos_, v.data(), v.size() * sizeof(T));
+      pos_ += v.size() * sizeof(T);
+    }
+  }
+
+  std::size_t written() const { return pos_; }
+
+ private:
+  std::span<std::byte> out_;
+  std::size_t pos_ = 0;
+};
 
 class Reader {
  public:
@@ -68,17 +83,29 @@ std::size_t CompressedGrad::byte_size() const {
          scales.size() * sizeof(float) + codes.size();
 }
 
+std::size_t CompressedGrad::serialized_size() const {
+  return byte_size() + 4 * sizeof(std::uint64_t);
+}
+
 std::vector<std::byte> CompressedGrad::serialize() const {
-  std::vector<std::byte> out;
-  out.reserve(byte_size() + 4 * sizeof(std::uint64_t));
-  append(out, static_cast<std::uint8_t>(scheme));
-  append(out, dense_size);
-  append(out, iteration);
-  append_vec(out, indices);
-  append_vec(out, values);
-  append_vec(out, scales);
-  append_vec(out, codes);
+  std::vector<std::byte> out(serialized_size());
+  const std::size_t written = serialize_into(out);
+  LOWDIFF_ENSURE(written == out.size(), "serialized_size mismatch");
   return out;
+}
+
+std::size_t CompressedGrad::serialize_into(std::span<std::byte> out) const {
+  LOWDIFF_ENSURE(out.size() >= serialized_size(),
+                 "serialize_into buffer too small");
+  Writer w(out);
+  w.write(static_cast<std::uint8_t>(scheme));
+  w.write(dense_size);
+  w.write(iteration);
+  w.write_vec(indices);
+  w.write_vec(values);
+  w.write_vec(scales);
+  w.write_vec(codes);
+  return w.written();
 }
 
 CompressedGrad CompressedGrad::deserialize(std::span<const std::byte> bytes) {

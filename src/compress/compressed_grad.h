@@ -37,8 +37,18 @@ struct CompressedGrad {
   /// Wire size in bytes (what a differential checkpoint write transfers).
   std::size_t byte_size() const;
 
+  /// Exact size serialize()/serialize_into() produce: byte_size() plus the
+  /// four vector length prefixes.
+  std::size_t serialized_size() const;
+
   /// Serialization used by the storage layer (CRC framing added there).
   std::vector<std::byte> serialize() const;
+
+  /// Writes the serialized form into a caller-provided buffer of at least
+  /// serialized_size() bytes (zero-copy datapath: callers presize pooled
+  /// buffers exactly).  Returns the bytes written.
+  std::size_t serialize_into(std::span<std::byte> out) const;
+
   static CompressedGrad deserialize(std::span<const std::byte> bytes);
 
   bool operator==(const CompressedGrad& other) const = default;

@@ -29,7 +29,17 @@ struct BatchedGrad {
   std::size_t byte_size() const;
   std::size_t count() const { return members.size(); }
 
+  /// Exact size serialize()/serialize_into() produce (byte_size() plus the
+  /// member-count and per-member length prefixes).
+  std::size_t serialized_size() const;
+
   std::vector<std::byte> serialize() const;
+
+  /// Writes the serialized form into a caller-provided buffer of at least
+  /// serialized_size() bytes; members serialize in place, no temporaries.
+  /// Returns the bytes written.
+  std::size_t serialize_into(std::span<std::byte> out) const;
+
   static BatchedGrad deserialize(std::span<const std::byte> bytes);
 };
 
@@ -38,6 +48,17 @@ struct BatchedGrad {
 /// "tensor addition" aggregation of the batched-writing module; it is what
 /// the write path would persist when the consumer only needs the summed
 /// update (e.g. SGD deltas, which compose additively).
+///
+/// Two implementations behind one dispatch, both bit-identical to
+/// merge_sparse_sum_pairwise (duplicate coordinates accumulate in payload
+/// order, the cascade's exact left fold): a dense scatter-accumulator,
+/// O(total + dense_size), when the batch is dense in aggregate; and a
+/// k-way heap union-sum, O(total·log B) for B payloads, for the sparse
+/// regime.  Both replace the pairwise cascade's O(total·B).
 CompressedGrad merge_sparse_sum(std::span<const CompressedGrad> payloads);
+
+/// Reference left-fold of two-pointer merges (the original implementation).
+/// Kept for the bit-exactness tests and the bench_micro baseline column.
+CompressedGrad merge_sparse_sum_pairwise(std::span<const CompressedGrad> payloads);
 
 }  // namespace lowdiff

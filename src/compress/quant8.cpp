@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace lowdiff {
 
@@ -14,9 +15,12 @@ CompressedGrad Quant8Compressor::compress(std::span<const float> grad,
   out.dense_size = grad.size();
   out.iteration = iteration;
   const std::size_t blocks = (grad.size() + kBlock - 1) / kBlock;
-  out.scales.reserve(blocks);
+  out.scales.resize(blocks);
   out.codes.resize(grad.size());
-  for (std::size_t b = 0; b < blocks; ++b) {
+
+  // Blocks are independent (each writes its own scale slot and code range),
+  // so block-parallel execution is bit-identical to the serial loop.
+  auto quantize_block = [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(grad.size(), lo + kBlock);
     float max_abs = 0.0f;
@@ -24,12 +28,19 @@ CompressedGrad Quant8Compressor::compress(std::span<const float> grad,
       max_abs = std::max(max_abs, std::fabs(grad[i]));
     }
     const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-    out.scales.push_back(scale);
+    out.scales[b] = scale;
     for (std::size_t i = lo; i < hi; ++i) {
       const float q = std::round(grad[i] / scale);
       const auto code = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
       out.codes[i] = static_cast<std::uint8_t>(code);
     }
+  };
+
+  ThreadPool* pool = thread_pool();
+  if (pool != nullptr && pool->size() > 1 && blocks >= 64) {
+    pool->parallel_for(0, blocks, quantize_block);
+  } else {
+    for (std::size_t b = 0; b < blocks; ++b) quantize_block(b);
   }
   return out;
 }

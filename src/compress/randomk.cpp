@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace lowdiff {
 
@@ -40,8 +41,16 @@ CompressedGrad RandomKCompressor::compress(std::span<const float> grad,
   std::sort(picked.begin(), picked.end());
 
   out.indices = std::move(picked);
-  out.values.reserve(k);
-  for (std::uint32_t idx : out.indices) out.values.push_back(grad[idx]);
+  out.values.resize(k);
+  // Selection stays serial (Floyd's walk is inherently sequential); the
+  // value gather is order-independent, so it parallelizes bit-exactly.
+  ThreadPool* pool = thread_pool();
+  auto gather = [&](std::size_t i) { out.values[i] = grad[out.indices[i]]; };
+  if (pool != nullptr && pool->size() > 1 && k >= (std::size_t{1} << 15)) {
+    pool->parallel_for(0, k, gather);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) gather(i);
+  }
   return out;
 }
 

@@ -21,7 +21,9 @@ class RandomKCompressor final : public Compressor {
   double nominal_ratio() const override { return ratio_; }
   std::string name() const override;
   std::unique_ptr<Compressor> clone() const override {
-    return std::make_unique<RandomKCompressor>(ratio_, seed_);
+    auto c = std::make_unique<RandomKCompressor>(ratio_, seed_);
+    c->set_thread_pool(thread_pool());
+    return c;
   }
 
  private:

@@ -22,7 +22,9 @@ class TopKCompressor final : public Compressor {
   double nominal_ratio() const override { return ratio_; }
   std::string name() const override;
   std::unique_ptr<Compressor> clone() const override {
-    return std::make_unique<TopKCompressor>(ratio_);
+    auto c = std::make_unique<TopKCompressor>(ratio_);
+    c->set_thread_pool(thread_pool());
+    return c;
   }
 
   /// Number of retained coordinates for a gradient of n elements.

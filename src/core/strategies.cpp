@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/buffer_pool.h"
 #include "common/error.h"
+#include "obs/datapath.h"
 #include "obs/trace.h"
 #include "storage/atomic_commit.h"
 #include "storage/serializer.h"
@@ -86,7 +88,9 @@ void CheckFreqStrategy::after_step(std::uint64_t iter, const ModelState& state,
   // "wait for the previous persist" pipeline rule.
   LOWDIFF_TRACE_SPAN("ckpt.snapshot", "ckpt");
   obs::ScopedTimerUs stall(obs_.stall_us);
-  auto bytes = serialize_model_state(state);
+  // Pooled single-pass snapshot: the framed record is built directly in a
+  // recycled arena buffer, so steady-state snapshots stop allocating.
+  auto bytes = serialize_model_state(state, BufferPool::global());
   stats_.bytes_written += bytes.size();
   obs_.bytes_total.add(bytes.size());
   writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
@@ -129,17 +133,19 @@ void GeminiStrategy::after_step(std::uint64_t iter, const ModelState& state,
   if ((iter + 1) % interval_ != 0) return;
   LOWDIFF_TRACE_SPAN("ckpt.tier_write", "ckpt");
   obs::ScopedTimerUs stall(obs_.stall_us);
-  auto bytes = serialize_model_state(state);
+  // One pooled record, shared by value: the memory-tier write and the
+  // durable persist reference the same bytes, no copy between them.
+  const ByteBuffer bytes = serialize_model_state(state, BufferPool::global());
   stats_.bytes_written += bytes.size();
   obs_.bytes_total.add(bytes.size());
   // Ship to the (remote) CPU-memory tier; traffic cost is borne by the
   // tier's throttler if one is configured.  A failed tier write leaves no
   // committed object — recovery simply falls back to an older snapshot.
-  (void)tier_store_.put_raw(CheckpointStore::full_key(iter), bytes);
+  (void)tier_store_.put_raw(CheckpointStore::full_key(iter), bytes.cspan());
   ++stats_.full_ckpts;
   obs_.full_total.add(1);
   if ((iter + 1) % (interval_ * persist_interval_) == 0) {
-    writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
+    writer_.submit(CheckpointStore::full_key(iter), bytes);
   }
 }
 
@@ -258,7 +264,7 @@ void NaiveDcStrategy::after_step(std::uint64_t iter, const ModelState& state,
   if (full_due || prev_ == nullptr) {
     LOWDIFF_TRACE_SPAN("ckpt.full", "ckpt");
     obs::ScopedTimerUs stall(obs_.stall_us);
-    auto bytes = serialize_model_state(state);
+    auto bytes = serialize_model_state(state, BufferPool::global());
     stats_.bytes_written += bytes.size();
     obs_.bytes_total.add(bytes.size());
     writer_.submit(CheckpointStore::full_key(iter), std::move(bytes));
@@ -395,7 +401,8 @@ void LowDiffStrategy::after_step(std::uint64_t iter, const ModelState& state,
     // Regular full checkpoint (Algorithm 1 line 15): snapshot on the
     // training thread, persist asynchronously.
     LOWDIFF_TRACE_SPAN("ckpt.full", "ckpt");
-    auto bytes = serialize_model_state(state);
+    auto bytes = serialize_model_state(state, BufferPool::global(),
+                                       options_.datapath_pool);
     {
       std::lock_guard lock(mutex_);
       stats_.bytes_written += bytes.size();
@@ -466,7 +473,7 @@ void LowDiffStrategy::checkpointing_loop() {
 }
 
 void LowDiffStrategy::write_batch(std::vector<CompressedGrad> members) {
-  LOWDIFF_TRACE_SPAN("ckpt.write_batch", "ckpt");
+  LOWDIFF_TRACE_SPAN("datapath.write_batch", "ckpt");
   BatchedGrad batch;
   batch.first_iteration = members.front().iteration;
   batch.last_iteration = members.back().iteration;
@@ -479,7 +486,10 @@ void LowDiffStrategy::write_batch(std::vector<CompressedGrad> members) {
               return total;
             }();
   batch.members = std::move(members);
-  auto bytes = serialize_batch(batch);
+  // Pooled single-pass serialization: members serialize_into the framed
+  // record in place; the CRC chunks across the datapath pool when present.
+  auto bytes =
+      serialize_batch(batch, BufferPool::global(), options_.datapath_pool);
   obs_.batched_write_total.add(1);
   obs_.bytes_total.add(bytes.size());
   {
@@ -512,6 +522,7 @@ void LowDiffStrategy::flush() {
   if (!tail.empty()) write_batch(std::move(tail));
   writer_.flush();
   (void)store_->backend().sync();
+  obs::publish_datapath_metrics();
 }
 
 StrategyStats LowDiffStrategy::stats() const {
@@ -596,9 +607,9 @@ void LowDiffPlusStrategy::update_loop() {
       ++stats_.diff_ckpts;
       const bool persist_due =
           (chunk.iteration + 1) % options_.persist_interval == 0;
-      std::vector<std::byte> bytes;
+      ByteBuffer bytes;
       if (persist_due) {
-        bytes = serialize_model_state(replica_);
+        bytes = serialize_model_state(replica_, BufferPool::global());
         stats_.bytes_written += bytes.size();
         ++stats_.full_ckpts;
         obs_.full_total.add(1);

@@ -30,6 +30,9 @@ Trainer::Trainer(MlpConfig mlp_config, TrainerConfig config)
   LOWDIFF_ENSURE(optimizer_ != nullptr, "unknown optimizer kind");
   LOWDIFF_ENSURE(config_.world >= 1, "world must be >= 1");
   if (config_.rho <= 0.0) config_.compression = GradCompression::kDense;
+  if (config_.datapath_threads > 0) {
+    datapath_pool_ = std::make_unique<ThreadPool>(config_.datapath_threads);
+  }
   switch (config_.compression) {
     case GradCompression::kTopK:
       compressor_ = std::make_unique<TopKCompressor>(config_.rho);
@@ -45,6 +48,8 @@ Trainer::Trainer(MlpConfig mlp_config, TrainerConfig config)
       config_.rho = 0.0;
       break;
   }
+  // Clones (error-feedback per-rank compressors) inherit the pool.
+  compressor_->set_thread_pool(datapath_pool_.get());
   states_.reserve(config_.world);
   for (std::size_t r = 0; r < config_.world; ++r) {
     ModelState state(net_.spec());

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file datapath.h
+/// Observability for the parallel zero-copy checkpoint datapath.
+///
+/// The common layer (BufferPool, crc32) cannot link against obs — obs
+/// already links common — so the pool exports a plain Stats struct and this
+/// header mirrors it into the metrics registry from the layers that can.
+/// Call publish_datapath_metrics() at natural sampling points (strategy
+/// flush, bench teardown); gauges are last-writer-wins so repeated calls
+/// are cheap and safe.
+
+#include "common/buffer_pool.h"
+#include "common/crc32.h"
+#include "obs/metrics.h"
+
+namespace lowdiff::obs {
+
+inline void publish_datapath_metrics(
+    const BufferPool::Stats& stats = BufferPool::global().stats()) {
+  auto& reg = Registry::global();
+  reg.gauge("datapath.pool.acquires").set(static_cast<double>(stats.acquires));
+  reg.gauge("datapath.pool.hits").set(static_cast<double>(stats.hits));
+  reg.gauge("datapath.pool.allocs").set(static_cast<double>(stats.allocs));
+  reg.gauge("datapath.pool.dropped").set(static_cast<double>(stats.dropped));
+  reg.gauge("datapath.pool.cached_buffers")
+      .set(static_cast<double>(stats.cached_buffers));
+  reg.gauge("datapath.pool.cached_bytes")
+      .set(static_cast<double>(stats.cached_bytes));
+  reg.gauge("datapath.crc32c.hardware")
+      .set(crc32c_hardware_available() ? 1.0 : 0.0);
+}
+
+}  // namespace lowdiff::obs

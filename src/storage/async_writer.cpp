@@ -50,7 +50,7 @@ AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend,
 
 AsyncWriter::~AsyncWriter() { shutdown(); }
 
-bool AsyncWriter::submit(std::string key, std::vector<std::byte> bytes,
+bool AsyncWriter::submit(std::string key, ByteBuffer bytes,
                          std::function<void()> on_done) {
   auto job = std::make_shared<const Job>(
       Job{std::move(key), std::move(bytes), std::move(on_done)});
@@ -59,7 +59,7 @@ bool AsyncWriter::submit(std::string key, std::vector<std::byte> bytes,
   return true;
 }
 
-bool AsyncWriter::try_submit(std::string key, std::vector<std::byte> bytes,
+bool AsyncWriter::try_submit(std::string key, ByteBuffer bytes,
                              std::function<void()> on_done) {
   auto job = std::make_shared<const Job>(
       Job{std::move(key), std::move(bytes), std::move(on_done)});
@@ -97,10 +97,10 @@ void AsyncWriter::run() {
       std::uint64_t job_retries = 0;
       const Status status =
           options_.committed
-              ? committed_write(*backend_, j.key, j.bytes, options_.retry, rng,
-                                &job_retries)
-              : write_with_retry(*backend_, j.key, j.bytes, options_.retry,
-                                 rng, &job_retries);
+              ? committed_write(*backend_, j.key, j.bytes.cspan(),
+                                options_.retry, rng, &job_retries)
+              : write_with_retry(*backend_, j.key, j.bytes.cspan(),
+                                 options_.retry, rng, &job_retries);
       retries_.fetch_add(job_retries, std::memory_order_relaxed);
       metrics_.jobs_total.add(1);
       metrics_.bytes_total.add(j.bytes.size());

@@ -21,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "common/buffer_pool.h"
 #include "common/retry.h"
 #include "obs/metrics.h"
 #include "queue/reusing_queue.h"
@@ -32,7 +33,10 @@ class AsyncWriter {
  public:
   struct Job {
     std::string key;
-    std::vector<std::byte> bytes;
+    /// Shared immutable payload: plain vectors and pooled buffers both
+    /// convert in without copying bytes, and replica fan-out shares one
+    /// allocation across writers.
+    ByteBuffer bytes;
     /// Invoked on the writer thread after the write *succeeds*.  Failed
     /// jobs (retry budget exhausted) are counted, logged, and skipped.
     std::function<void()> on_done;
@@ -68,12 +72,12 @@ class AsyncWriter {
 
   /// Enqueues a write.  Blocks if the pending queue is full.  Returns false
   /// if the writer is already shut down.
-  bool submit(std::string key, std::vector<std::byte> bytes,
+  bool submit(std::string key, ByteBuffer bytes,
               std::function<void()> on_done = {});
 
   /// Non-blocking submit; false if full or shut down (caller decides
   /// whether to stall or drop — strategies differ).
-  bool try_submit(std::string key, std::vector<std::byte> bytes,
+  bool try_submit(std::string key, ByteBuffer bytes,
                   std::function<void()> on_done = {});
 
   /// Blocks until every job submitted so far has been written.

@@ -4,6 +4,7 @@
 
 #include "common/crc32.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace lowdiff {
@@ -12,12 +13,7 @@ namespace {
 constexpr char kMagic[4] = {'L', 'D', 'C', 'K'};
 constexpr std::uint16_t kVersion = 1;
 constexpr std::size_t kHeaderSize = 4 + 2 + 1 + 8 + 4;
-
-template <typename T>
-void append(std::vector<std::byte>& out, const T& value) {
-  const auto* p = reinterpret_cast<const std::byte*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
-}
+constexpr std::size_t kCrcOffset = 4 + 2 + 1 + 8;
 
 template <typename T>
 T read_at(std::span<const std::byte> bytes, std::size_t offset) {
@@ -27,11 +23,32 @@ T read_at(std::span<const std::byte> bytes, std::size_t offset) {
   return value;
 }
 
-void append_floats(std::vector<std::byte>& out, std::span<const float> v) {
-  append(out, static_cast<std::uint64_t>(v.size()));
-  const auto* p = reinterpret_cast<const std::byte*>(v.data());
-  out.insert(out.end(), p, p + v.size_bytes());
-}
+/// Cursor over a pre-sized destination span (all serializers size exactly
+/// before writing, validated once at the end).
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<std::byte> out) : out_(out) {}
+
+  template <typename T>
+  void write(const T& value) {
+    std::memcpy(out_.data() + pos_, &value, sizeof(T));
+    pos_ += sizeof(T);
+  }
+
+  void write_floats(std::span<const float> v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty()) {
+      std::memcpy(out_.data() + pos_, v.data(), v.size_bytes());
+      pos_ += v.size_bytes();
+    }
+  }
+
+  std::size_t written() const { return pos_; }
+
+ private:
+  std::span<std::byte> out_;
+  std::size_t pos_ = 0;
+};
 
 std::size_t read_floats(std::span<const std::byte> bytes, std::size_t pos,
                         std::span<float> out) {
@@ -43,18 +60,54 @@ std::size_t read_floats(std::span<const std::byte> bytes, std::size_t pos,
   return pos + n * sizeof(float);
 }
 
+std::size_t model_state_payload_size(const ModelState& state) {
+  return 2 * sizeof(std::uint64_t) +                              // step, count
+         3 * sizeof(std::uint64_t) +                              // float prefixes
+         state.params().span().size_bytes() +
+         state.moment1().span().size_bytes() +
+         state.moment2().span().size_bytes();
+}
+
+void write_model_state_payload(std::span<std::byte> payload,
+                               const ModelState& state) {
+  SpanWriter w(payload);
+  w.write(state.step());
+  w.write(static_cast<std::uint64_t>(state.param_count()));
+  w.write_floats(state.params().span());
+  w.write_floats(state.moment1().span());
+  w.write_floats(state.moment2().span());
+  LOWDIFF_ENSURE(w.written() == payload.size(), "model state payload size mismatch");
+}
+
 }  // namespace
 
+std::size_t framed_size(std::size_t payload_len) {
+  return kHeaderSize + payload_len;
+}
+
+std::span<std::byte> frame_prepare(std::span<std::byte> record, RecordType type) {
+  LOWDIFF_ENSURE(record.size() >= kHeaderSize, "frame buffer shorter than header");
+  SpanWriter w(record);
+  w.write(kMagic);
+  w.write(kVersion);
+  w.write(static_cast<std::uint8_t>(type));
+  w.write(static_cast<std::uint64_t>(record.size() - kHeaderSize));
+  w.write(std::uint32_t{0});  // CRC patched by frame_seal
+  return record.subspan(kHeaderSize);
+}
+
+void frame_seal(std::span<std::byte> record, ThreadPool* pool) {
+  LOWDIFF_ENSURE(record.size() >= kHeaderSize, "frame buffer shorter than header");
+  const auto payload = record.subspan(kHeaderSize);
+  const std::uint32_t crc = crc32c_chunked(payload.data(), payload.size(), pool);
+  std::memcpy(record.data() + kCrcOffset, &crc, sizeof(crc));
+}
+
 std::vector<std::byte> frame(RecordType type, std::span<const std::byte> payload) {
-  std::vector<std::byte> out;
-  out.reserve(kHeaderSize + payload.size());
-  out.insert(out.end(), reinterpret_cast<const std::byte*>(kMagic),
-             reinterpret_cast<const std::byte*>(kMagic) + 4);
-  append(out, kVersion);
-  append(out, static_cast<std::uint8_t>(type));
-  append(out, static_cast<std::uint64_t>(payload.size()));
-  append(out, crc32c(payload.data(), payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
+  std::vector<std::byte> out(framed_size(payload.size()));
+  auto dst = frame_prepare(out, type);
+  if (!payload.empty()) std::memcpy(dst.data(), payload.data(), payload.size());
+  frame_seal(out);
   return out;
 }
 
@@ -76,14 +129,19 @@ std::pair<RecordType, std::vector<std::byte>> unframe(
 }
 
 std::vector<std::byte> serialize_model_state(const ModelState& state) {
-  std::vector<std::byte> payload;
-  payload.reserve(state.byte_size() + 64);
-  append(payload, state.step());
-  append(payload, static_cast<std::uint64_t>(state.param_count()));
-  append_floats(payload, state.params().span());
-  append_floats(payload, state.moment1().span());
-  append_floats(payload, state.moment2().span());
-  return frame(RecordType::kFullCheckpoint, payload);
+  std::vector<std::byte> out(framed_size(model_state_payload_size(state)));
+  write_model_state_payload(frame_prepare(out, RecordType::kFullCheckpoint), state);
+  frame_seal(out);
+  return out;
+}
+
+PooledBuffer serialize_model_state(const ModelState& state, BufferPool& pool,
+                                   ThreadPool* crc_pool) {
+  PooledBuffer out = pool.acquire(framed_size(model_state_payload_size(state)));
+  write_model_state_payload(frame_prepare(out.span(), RecordType::kFullCheckpoint),
+                            state);
+  frame_seal(out.span(), crc_pool);
+  return out;
 }
 
 ModelState deserialize_model_state(std::span<const std::byte> bytes,
@@ -107,7 +165,18 @@ ModelState deserialize_model_state(std::span<const std::byte> bytes,
 }
 
 std::vector<std::byte> serialize_diff(const CompressedGrad& grad) {
-  return frame(RecordType::kDiffCheckpoint, grad.serialize());
+  std::vector<std::byte> out(framed_size(grad.serialized_size()));
+  grad.serialize_into(frame_prepare(out, RecordType::kDiffCheckpoint));
+  frame_seal(out);
+  return out;
+}
+
+PooledBuffer serialize_diff(const CompressedGrad& grad, BufferPool& pool,
+                            ThreadPool* crc_pool) {
+  PooledBuffer out = pool.acquire(framed_size(grad.serialized_size()));
+  grad.serialize_into(frame_prepare(out.span(), RecordType::kDiffCheckpoint));
+  frame_seal(out.span(), crc_pool);
+  return out;
 }
 
 CompressedGrad deserialize_diff(std::span<const std::byte> bytes) {
@@ -117,7 +186,18 @@ CompressedGrad deserialize_diff(std::span<const std::byte> bytes) {
 }
 
 std::vector<std::byte> serialize_batch(const BatchedGrad& batch) {
-  return frame(RecordType::kBatchedDiff, batch.serialize());
+  std::vector<std::byte> out(framed_size(batch.serialized_size()));
+  batch.serialize_into(frame_prepare(out, RecordType::kBatchedDiff));
+  frame_seal(out);
+  return out;
+}
+
+PooledBuffer serialize_batch(const BatchedGrad& batch, BufferPool& pool,
+                             ThreadPool* crc_pool) {
+  PooledBuffer out = pool.acquire(framed_size(batch.serialized_size()));
+  batch.serialize_into(frame_prepare(out.span(), RecordType::kBatchedDiff));
+  frame_seal(out.span(), crc_pool);
+  return out;
 }
 
 BatchedGrad deserialize_batch(std::span<const std::byte> bytes) {

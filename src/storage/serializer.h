@@ -13,11 +13,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "compress/compressed_grad.h"
 #include "compress/merge.h"
 #include "model/model_state.h"
 
 namespace lowdiff {
+
+class ThreadPool;
 
 enum class RecordType : std::uint8_t {
   kFullCheckpoint = 1,  ///< model state: params + moments + step (3Ψ + meta)
@@ -30,6 +33,20 @@ enum class RecordType : std::uint8_t {
 
 /// Wraps a payload in the framed format.
 std::vector<std::byte> frame(RecordType type, std::span<const std::byte> payload);
+
+/// Exact on-disk size of a framed record carrying `payload_len` bytes.
+std::size_t framed_size(std::size_t payload_len);
+
+/// Zero-copy framing: writes everything but the CRC into `record` (which
+/// must be exactly framed_size(payload_len) for the intended payload) and
+/// returns the payload region for the caller to fill in place.  Finish with
+/// frame_seal().
+std::span<std::byte> frame_prepare(std::span<std::byte> record, RecordType type);
+
+/// Computes the payload CRC — chunk-parallel across `pool` when given, with
+/// a bit-identical result — and patches it into the header.  Call after the
+/// payload region from frame_prepare() has been filled.
+void frame_seal(std::span<std::byte> record, ThreadPool* pool = nullptr);
 
 /// Validates magic/version/CRC and returns (type, payload).  Throws Error
 /// on any corruption.
@@ -48,5 +65,16 @@ CompressedGrad deserialize_diff(std::span<const std::byte> bytes);
 /// Batched differential checkpoint ⇄ BatchedGrad.
 std::vector<std::byte> serialize_batch(const BatchedGrad& batch);
 BatchedGrad deserialize_batch(std::span<const std::byte> bytes);
+
+/// Pooled single-pass variants: lease an exactly-sized buffer from `pool`,
+/// serialize directly into the framed record (no intermediate payload
+/// vector), and CRC chunk-parallel across `crc_pool` when given.  The byte
+/// stream is identical to the vector-returning forms.
+PooledBuffer serialize_model_state(const ModelState& state, BufferPool& pool,
+                                   ThreadPool* crc_pool = nullptr);
+PooledBuffer serialize_diff(const CompressedGrad& grad, BufferPool& pool,
+                            ThreadPool* crc_pool = nullptr);
+PooledBuffer serialize_batch(const BatchedGrad& batch, BufferPool& pool,
+                             ThreadPool* crc_pool = nullptr);
 
 }  // namespace lowdiff

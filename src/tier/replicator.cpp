@@ -148,16 +148,21 @@ Status Replicator::write(const std::string& key,
 
   // Secondary replicas: async, FIFO per tier (preserves the commit
   // protocol's data-before-marker order within each tier's manifest).
-  for (std::size_t i = 1; i < plan.targets.size(); ++i) {
-    Lane& lane = lane_of(*plan.targets[i]);
-    Lane* lane_ptr = &lane;
-    std::vector<std::byte> copy(bytes.begin(), bytes.end());
-    const std::size_t size = copy.size();
-    robs.replica_jobs_total.add();
-    lane.writer->submit(key, std::move(copy), [lane_ptr, size] {
-      lane_ptr->writes_total.add();
-      lane_ptr->bytes_written_total.add(size);
-    });
+  // One shared immutable copy of the record serves every lane — ByteBuffer
+  // copies alias the same bytes, so fan-out cost is O(1) allocations
+  // instead of one full copy per replica.
+  if (plan.targets.size() > 1) {
+    const ByteBuffer shared(std::vector<std::byte>(bytes.begin(), bytes.end()));
+    const std::size_t size = shared.size();
+    for (std::size_t i = 1; i < plan.targets.size(); ++i) {
+      Lane& lane = lane_of(*plan.targets[i]);
+      Lane* lane_ptr = &lane;
+      robs.replica_jobs_total.add();
+      lane.writer->submit(key, shared, [lane_ptr, size] {
+        lane_ptr->writes_total.add();
+        lane_ptr->bytes_written_total.add(size);
+      });
+    }
   }
 
   {

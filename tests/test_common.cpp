@@ -60,6 +60,63 @@ TEST(Crc32, DetectsSingleBitFlip) {
   EXPECT_NE(crc32c(data.data(), data.size()), before);
 }
 
+TEST(Crc32, SoftwareKernelMatchesDispatch) {
+  // The dispatch entry point (hardware when available) must compute the
+  // same function as the slice-by-8 fallback, at every length including
+  // the unaligned head/tail paths.
+  std::vector<unsigned char> data(4099);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(i * 131 + 17);
+  }
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1024u, 4099u}) {
+    EXPECT_EQ(crc32c_sw(0, data.data(), len), crc32c(data.data(), len))
+        << "len=" << len;
+  }
+  if (crc32c_hardware_available()) {
+    for (std::size_t len : {1u, 9u, 65u, 4099u}) {
+      EXPECT_EQ(detail::crc32c_hw(0, data.data(), len),
+                crc32c_sw(0, data.data(), len))
+          << "len=" << len;
+    }
+  }
+}
+
+TEST(Crc32, CombineMatchesConcatenation) {
+  std::vector<unsigned char> data(2048);
+  Xoshiro256 rng(7);
+  for (auto& b : data) b = static_cast<unsigned char>(rng());
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  for (std::size_t cut : {0u, 1u, 5u, 512u, 1000u, 2047u, 2048u}) {
+    const std::uint32_t a = crc32c(data.data(), cut);
+    const std::uint32_t b = crc32c(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc32c_combine(a, b, data.size() - cut), whole) << "cut=" << cut;
+  }
+}
+
+TEST(Crc32, CombineWithEmptyRightIsIdentity) {
+  const char* data = "123456789";
+  const std::uint32_t crc = crc32c(data, 9);
+  EXPECT_EQ(crc32c_combine(crc, 0, 0), crc);
+}
+
+TEST(Crc32, ChunkedMatchesFlatForEveryPoolSize) {
+  std::vector<unsigned char> data(1 << 16);
+  Xoshiro256 rng(21);
+  for (auto& b : data) b = static_cast<unsigned char>(rng());
+  const std::uint32_t flat = crc32c(data.data(), data.size());
+  // No pool: must fall through to the plain kernel.
+  EXPECT_EQ(crc32c_chunked(data.data(), data.size(), nullptr, 1024), flat);
+  for (std::size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    // min_chunk far below the range so the parallel split actually runs.
+    EXPECT_EQ(crc32c_chunked(data.data(), data.size(), &pool, 1024), flat)
+        << "workers=" << workers;
+    // min_chunk above the range: serial fallback, same answer.
+    EXPECT_EQ(crc32c_chunked(data.data(), data.size(), &pool, 1 << 20), flat)
+        << "workers=" << workers;
+  }
+}
+
 TEST(Rng, SplitMixDeterministic) {
   SplitMix64 a(7), b(7);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
@@ -166,6 +223,29 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   bool ran = false;
   pool.parallel_for(5, 5, [&ran](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::vector<int> hits(257, 0);
+  pool.parallel_for(0, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForRangeSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, DestructorDrainsQueue) {
