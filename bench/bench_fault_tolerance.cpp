@@ -18,6 +18,10 @@
 #include "storage/atomic_commit.h"
 #include "storage/fault_injection.h"
 #include "storage/mem_storage.h"
+#include "tier/chaos.h"
+#include "tier/health.h"
+#include "tier/replicator.h"
+#include "tier/topology.h"
 
 namespace {
 
@@ -158,6 +162,78 @@ int main(int argc, char** argv) {
                 bench::Table::fmt(retries_sum / std::max(recovered_ok, 1), 1),
                 bench::Table::fmt(iter_sum / std::max(recovered_ok, 1), 1));
     }
+    table.emit();
+  }
+
+  // --- health-monitor overhead on the replicated write path ----------------
+  // The self-healing runtime (DESIGN.md §9) adds a deadline check and a
+  // breaker lookup to every lane op.  Measure the same replicated write
+  // loop with the monitor off and on; the acceptance bar is < 2% added
+  // stall on the healthy path.
+  {
+    bench::Table table(
+        "Health-monitor overhead, 2@local,peer replicated writes "
+        "(healthy cluster, 16 KiB records)",
+        {"mode", "writes", "wall_ms", "per_write_us", "overhead_vs_off"},
+        "fault_tolerance_monitor.csv");
+
+    constexpr int kWrites = 2000;
+    const std::vector<std::byte> payload(16 * 1024, std::byte{0x5A});
+
+    auto run_mode = [&](bool monitored) {
+      sim::ClusterSpec cluster;
+      cluster.num_gpus = 2 * cluster.gpus_per_server;
+      tier::TierSimOptions topts;
+      topts.time_scale = 1e-7;  // link accounting runs, wall time doesn't
+      auto topo = tier::TierTopology::for_cluster(cluster, topts);
+      tier::ReplicatorOptions opts;
+      opts.origin_server = 0;
+      if (monitored) {
+        opts.health = std::make_shared<tier::TierHealthMonitor>();
+        opts.deadline.write_deadline_sec = 1.0;  // checked, never fires
+        opts.deadline.sync_deadline_sec = 1.0;
+      }
+      tier::Replicator rep(topo, tier::PlacementPolicy::parse("2@local,peer"),
+                           opts);
+      Stopwatch sw;
+      for (int i = 0; i < kWrites; ++i) {
+        (void)rep.write("obj/" + std::to_string(i), payload);
+      }
+      rep.flush();
+      return sw.elapsed_sec() * 1e3;
+    };
+
+    const double off_ms = run_mode(false);
+    const double on_ms = run_mode(true);
+    const double overhead = on_ms / off_ms - 1.0;
+    auto emit = [&](const char* mode, double ms) {
+      table.row(mode, kWrites, bench::Table::fmt(ms, 2),
+                bench::Table::fmt(ms * 1e3 / kWrites, 3),
+                bench::Table::pct(ms / off_ms - 1.0));
+    };
+    emit("monitor off", off_ms);
+    emit("monitor on (deadline + breaker gate)", on_ms);
+    table.emit();
+    obs::Registry::global()
+        .gauge("fault_tolerance.monitor.overhead_frac")
+        .set(overhead);
+  }
+
+  // --- breaker + repair under fire -----------------------------------------
+  // One chaos campaign so the breaker (`tier.health.*`) and repair
+  // (`repair.*`) series land in this bench's --json artifact next to the
+  // commit-protocol numbers they complement.
+  {
+    bench::Table table(
+        "One chaos campaign (seed 1): breakers + budgeted quorum repair",
+        {"kills", "sickenings", "repair_passes", "repair_copies",
+         "short_circuits", "failed_puts", "forced_fulls", "bit_exact",
+         "quorum_restored"},
+        "fault_tolerance_chaos.csv");
+    const auto r = tier::ChaosRunner().run(1);
+    table.row(r.kills, r.sickenings, r.repair_passes, r.repair_copies,
+              r.short_circuits, r.failed_puts, r.forced_fulls,
+              r.bit_exact ? "yes" : "NO", r.quorum_restored ? "yes" : "NO");
     table.emit();
   }
 

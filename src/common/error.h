@@ -56,6 +56,8 @@ enum class ErrorCode : std::uint8_t {
   kCorrupted,    ///< CRC mismatch, torn write, or malformed record
   kShutdown,     ///< component is shutting down; request not accepted
   kExhausted,    ///< retry budget spent without success
+  kTimeout,      ///< op exceeded its deadline; outcome on the device unknown
+  kCircuitOpen,  ///< short-circuited by an open breaker; device never touched
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -67,6 +69,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kCorrupted: return "corrupted";
     case ErrorCode::kShutdown: return "shutdown";
     case ErrorCode::kExhausted: return "exhausted";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCircuitOpen: return "circuit_open";
   }
   return "unknown";
 }
@@ -83,8 +87,12 @@ class Status {
   const std::string& message() const { return message_; }
 
   /// True for codes where retrying the same operation can succeed.
+  /// kCircuitOpen is deliberately *not* retryable: the whole point of an
+  /// open breaker is that retrying against the same target is wasted work —
+  /// the caller must route around it (or wait for the half-open probe).
   bool retryable() const {
-    return code_ == ErrorCode::kTransient || code_ == ErrorCode::kUnavailable;
+    return code_ == ErrorCode::kTransient || code_ == ErrorCode::kUnavailable ||
+           code_ == ErrorCode::kTimeout;
   }
 
   std::string to_string() const {

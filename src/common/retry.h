@@ -26,6 +26,19 @@ struct RetryPolicy {
   double multiplier = 2.0;
   double max_delay_sec = 0.1;
   double jitter = 0.5;  ///< delay is scaled by uniform [1-jitter, 1+jitter]
+  /// Root seed for every jitter stream derived from this policy.  All
+  /// components that retry (CheckpointStore, AsyncWriter, Replicator lanes)
+  /// draw their RNGs via make_rng(), so a test or the chaos harness pins
+  /// one seed here and the whole retry schedule is reproducible — including
+  /// under `ctest -j`, where wall-clock interleaving must not feed back
+  /// into the jitter sequence.
+  std::uint64_t seed = 0x7e77a5eedull;
+
+  /// Jitter RNG for one retry stream.  `stream` decorrelates independent
+  /// retry loops (per store, per writer lane) under the same policy seed.
+  Xoshiro256 make_rng(std::uint64_t stream = 0) const {
+    return Xoshiro256(SplitMix64(seed ^ (0x9e3779b9ull + stream)).next());
+  }
 
   /// Delay (seconds) to sleep before retry number `retry` (0-based).
   double delay_sec(int retry, Xoshiro256& rng) const {

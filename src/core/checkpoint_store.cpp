@@ -23,7 +23,8 @@ std::string pad(std::uint64_t iter) {
 
 CheckpointStore::CheckpointStore(std::shared_ptr<StorageBackend> backend,
                                  RetryPolicy retry)
-    : backend_(std::move(backend)), retry_(retry), rng_(0xc4ec9013) {
+    : backend_(std::move(backend)), retry_(retry),
+      rng_(retry.make_rng(0xc4ec9013)) {
   LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
 }
 

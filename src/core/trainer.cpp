@@ -113,6 +113,13 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
   obs::Histogram& compute_us = reg.histogram("trainer.compute_us");
   obs::Histogram& sync_us = reg.histogram("trainer.sync_us");
   obs::Histogram& stall_us = reg.histogram("trainer.stall_us");
+  // Degraded-durability sampling: the tier layer owns this gauge (string
+  // duplicated here — core cannot depend on tier); it reads 0 when no
+  // replicator is in the stack, so pure-training runs are unaffected.
+  obs::Gauge& durability_lag =
+      reg.gauge("tier.replication.durability_lag_records");
+  obs::Counter& degraded_total = reg.counter("trainer.degraded_iterations_total");
+  std::uint64_t degraded_iters = 0;
 
   auto worker = [&](std::size_t rank) {
     if (obs::Tracer::global().enabled()) {
@@ -211,6 +218,11 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
         stall += stalled;
         stall_us.observe(stalled * 1e6);
         iters_total.add(1);
+        if ((strategy != nullptr || layerwise != nullptr) &&
+            durability_lag.value() > 0) {
+          ++degraded_iters;
+          degraded_total.add(1);
+        }
       }
       comm.barrier();  // keep ranks in lockstep iteration-to-iteration
     }
@@ -226,6 +238,7 @@ TrainResult Trainer::run(std::uint64_t start_iter, std::uint64_t num_iters,
 
   result.wall_seconds = wall.elapsed_sec();
   result.stall_seconds = stall_total;
+  result.degraded_iterations = degraded_iters;
   return result;
 }
 

@@ -66,6 +66,11 @@ struct TrainResult {
   double wall_seconds = 0.0;
   /// Seconds rank 0 spent blocked inside the strategy (training stall).
   double stall_seconds = 0.0;
+  /// Iterations that ended with checkpoint durability lagging (the
+  /// replication layer's `tier.replication.durability_lag_records` gauge
+  /// was nonzero after the strategy ran) — training proceeded, but a
+  /// failure in that window could lose more than one checkpoint interval.
+  std::uint64_t degraded_iterations = 0;
 };
 
 class Trainer {

@@ -9,6 +9,7 @@
 /// tiered placement subsystem (tier/topology.h) for Exp. 11.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -87,5 +88,74 @@ inline std::vector<std::size_t> sample_server_losses(std::size_t num_servers,
   std::sort(servers.begin(), servers.end());
   return servers;
 }
+
+/// Analytic model of *repair racing failure* — the window analysis behind
+/// the quorum repair engine's budget (DESIGN.md §9.2).  While a record is
+/// under-replicated (between a domain loss and its repair completing), a
+/// second loss can strike; replication only protects against losses that
+/// do not overlap a repair window.  With Poisson failures (rate 1/MTBF per
+/// server) and mean repair time R, the number of concurrently-unrepaired
+/// failures in an n-server cluster behaves like an M/G/inf queue with
+/// occupancy lambda*R = n*R/MTBF, so quorum (k replicas, q required) is
+/// lost when at least k-q+1 domains are simultaneously down — a Poisson
+/// tail in that occupancy.
+class RepairModel {
+ public:
+  RepairModel(double mtbf_sec, double mean_repair_sec)
+      : mtbf_sec_(mtbf_sec), mean_repair_sec_(mean_repair_sec) {
+    LOWDIFF_ENSURE(mtbf_sec > 0, "mtbf must be positive");
+    LOWDIFF_ENSURE(mean_repair_sec >= 0, "repair time cannot be negative");
+  }
+
+  double mtbf() const { return mtbf_sec_; }
+  double mean_repair() const { return mean_repair_sec_; }
+
+  /// P(another failure of the same server arrives within one repair
+  /// window) = 1 - e^(-R/MTBF).
+  double overlap_probability() const {
+    return 1.0 - std::exp(-mean_repair_sec_ / mtbf_sec_);
+  }
+
+  /// Expected number of servers simultaneously inside a repair window
+  /// (M/G/inf occupancy): n * R / MTBF.
+  double expected_unrepaired(std::size_t num_servers) const {
+    return static_cast<double>(num_servers) * mean_repair_sec_ / mtbf_sec_;
+  }
+
+  /// P(>= `overlapping` failures are concurrently unrepaired) — the
+  /// Poisson tail of the occupancy above.  With k replicas and quorum q,
+  /// call with overlapping = k - q + 1 for the quorum-loss probability at
+  /// any instant.
+  double concurrent_loss_probability(std::size_t num_servers,
+                                     std::size_t overlapping) const {
+    const double occupancy = expected_unrepaired(num_servers);
+    // P(N >= m) = 1 - sum_{i<m} e^-o o^i / i!
+    double term = std::exp(-occupancy);  // i = 0
+    double cdf = 0.0;
+    for (std::size_t i = 0; i < overlapping; ++i) {
+      cdf += term;
+      term *= occupancy / static_cast<double>(i + 1);
+    }
+    return std::max(0.0, 1.0 - cdf);
+  }
+
+  /// Quorum-loss probability for a k-replica / q-quorum placement: at
+  /// least k - q + 1 overlapping unrepaired losses.
+  double quorum_loss_probability(std::size_t num_servers, std::size_t replicas,
+                                 std::size_t quorum) const {
+    LOWDIFF_ENSURE(quorum >= 1 && quorum <= replicas, "bad quorum");
+    return concurrent_loss_probability(num_servers, replicas - quorum + 1);
+  }
+
+  /// Samples one repair duration (exponential with the configured mean) —
+  /// feeds chaos schedules that want randomized restore times.
+  double sample_repair_sec(Xoshiro256& rng) const {
+    return mean_repair_sec_ <= 0 ? 0.0 : rng.exponential(mean_repair_sec_);
+  }
+
+ private:
+  double mtbf_sec_;
+  double mean_repair_sec_;
+};
 
 }  // namespace lowdiff::sim

@@ -51,9 +51,11 @@ AsyncWriter::AsyncWriter(std::shared_ptr<StorageBackend> backend,
 AsyncWriter::~AsyncWriter() { shutdown(); }
 
 bool AsyncWriter::submit(std::string key, ByteBuffer bytes,
-                         std::function<void()> on_done) {
-  auto job = std::make_shared<const Job>(
-      Job{std::move(key), std::move(bytes), std::move(on_done)});
+                         std::function<void()> on_done,
+                         std::function<void(const Status&)> on_result) {
+  auto job = std::make_shared<const Job>(Job{std::move(key), std::move(bytes),
+                                             std::move(on_done),
+                                             std::move(on_result)});
   if (!queue_.put(std::move(job))) return false;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -62,7 +64,7 @@ bool AsyncWriter::submit(std::string key, ByteBuffer bytes,
 bool AsyncWriter::try_submit(std::string key, ByteBuffer bytes,
                              std::function<void()> on_done) {
   auto job = std::make_shared<const Job>(
-      Job{std::move(key), std::move(bytes), std::move(on_done)});
+      Job{std::move(key), std::move(bytes), std::move(on_done), {}});
   if (!queue_.try_put(std::move(job))) return false;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -82,8 +84,9 @@ void AsyncWriter::shutdown() {
 }
 
 void AsyncWriter::run() {
-  // The worker thread owns the RNG exclusively; no locking needed.
-  Xoshiro256 rng(options_.seed);
+  // The worker thread owns the RNG exclusively; no locking needed.  Seeded
+  // from the retry policy so the jitter schedule is injectable end-to-end.
+  Xoshiro256 rng = options_.retry.make_rng(options_.seed);
   if (obs::Tracer::global().enabled()) {
     obs::Tracer::global().set_thread_name("async_writer");
   }
@@ -105,6 +108,7 @@ void AsyncWriter::run() {
       metrics_.jobs_total.add(1);
       metrics_.bytes_total.add(j.bytes.size());
       metrics_.retries_total.add(job_retries);
+      if (j.on_result) j.on_result(status);
       if (status.ok()) {
         if (j.on_done) j.on_done();
       } else {

@@ -40,6 +40,9 @@ class AsyncWriter {
     /// Invoked on the writer thread after the write *succeeds*.  Failed
     /// jobs (retry budget exhausted) are counted, logged, and skipped.
     std::function<void()> on_done;
+    /// Invoked on the writer thread with the job's final status, success or
+    /// not — the hook health monitors use to observe replica outcomes.
+    std::function<void(const Status&)> on_result;
   };
 
   static constexpr std::size_t kDefaultMaxPending = 64;
@@ -53,6 +56,9 @@ class AsyncWriter {
     /// When true every job uses the atomic commit protocol
     /// (write → sync → marker) instead of a bare write.
     bool committed = false;
+    /// Stream id for this writer's jitter RNG, combined with retry.seed via
+    /// RetryPolicy::make_rng so independent writers decorrelate while the
+    /// whole schedule stays a pure function of the injected seeds.
     std::uint64_t seed = 0xa51dc0de;
   };
 
@@ -73,7 +79,8 @@ class AsyncWriter {
   /// Enqueues a write.  Blocks if the pending queue is full.  Returns false
   /// if the writer is already shut down.
   bool submit(std::string key, ByteBuffer bytes,
-              std::function<void()> on_done = {});
+              std::function<void()> on_done = {},
+              std::function<void(const Status&)> on_result = {});
 
   /// Non-blocking submit; false if full or shut down (caller decides
   /// whether to stall or drop — strategies differ).

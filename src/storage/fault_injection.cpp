@@ -17,17 +17,16 @@ bool FaultInjectingStorage::roll(double rate) const {
 }
 
 void FaultInjectingStorage::maybe_spike() const {
-  bool spike = false;
+  double spike_sec = 0.0;
   {
     std::lock_guard lock(mutex_);
     if (roll(spec_.latency_spike_rate)) {
       ++fault_stats_.latency_spikes;
-      spike = true;
+      spike_sec = spec_.latency_spike_sec;  // capture under lock: spec mutable
     }
   }
-  if (spike && spec_.latency_spike_sec > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(spec_.latency_spike_sec));
+  if (spike_sec > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike_sec));
   }
 }
 
@@ -115,6 +114,18 @@ FaultStats FaultInjectingStorage::fault_stats() const {
 void FaultInjectingStorage::set_armed(bool armed) {
   std::lock_guard lock(mutex_);
   armed_ = armed;
+}
+
+void FaultInjectingStorage::set_spec(const FaultSpec& spec) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seed = spec_.seed;
+  spec_ = spec;
+  spec_.seed = seed;  // RNG stream continuity: seed is construction-only
+}
+
+FaultSpec FaultInjectingStorage::spec() const {
+  std::lock_guard lock(mutex_);
+  return spec_;
 }
 
 }  // namespace lowdiff

@@ -63,6 +63,12 @@ class FaultInjectingStorage final : public StorageBackend {
   /// phases of a test can read back cleanly).
   void set_armed(bool armed);
 
+  /// Replaces the fault probabilities mid-run (the chaos switchboard flaps
+  /// or slows a live target this way).  The RNG stream is left untouched so
+  /// prior draws stay reproducible; the seed field of `spec` is ignored.
+  void set_spec(const FaultSpec& spec);
+  FaultSpec spec() const;
+
   StorageBackend& inner() { return *inner_; }
 
  private:

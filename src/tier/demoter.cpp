@@ -14,12 +14,14 @@ struct DemoterObs {
   obs::Counter& migrated_total;
   obs::Counter& bytes_moved_total;
   obs::Counter& passes_total;
+  obs::Counter& skipped_open_total;
 
   static DemoterObs resolve() {
     auto& reg = obs::Registry::global();
     return DemoterObs{reg.counter("tier.demoter.migrated_total"),
                       reg.counter("tier.demoter.bytes_moved_total"),
-                      reg.counter("tier.demoter.passes_total")};
+                      reg.counter("tier.demoter.passes_total"),
+                      reg.counter("tier.demoter.skipped_open_total")};
   }
 };
 
@@ -39,19 +41,35 @@ Demoter::Pass Demoter::run_once() {
   dobs.passes_total.add();
   Pass pass;
 
+  auto breaker_open = [&](const TierTarget& t) {
+    return options_.health != nullptr && !options_.health->readable(t.name);
+  };
+
   TierTarget* shared = nullptr;
   for (std::size_t i = 0; i < topology_->size(); ++i) {
     auto& t = topology_->target(i);
-    if (t.kind == TierKind::kRemoteShared && topology_->alive(t)) {
-      shared = &t;
-      break;
+    if (t.kind != TierKind::kRemoteShared || !topology_->alive(t)) continue;
+    if (breaker_open(t)) {
+      // Destination is sick: migrating into it would fail record by record.
+      ++pass.skipped_open;
+      dobs.skipped_open_total.add();
+      continue;
     }
+    shared = &t;
+    break;
   }
 
   for (std::size_t i = 0; i < topology_->size(); ++i) {
     auto& tier = topology_->target(i);
     if (tier.kind != TierKind::kPeerMemory || !topology_->alive(tier)) continue;
     if (tier.base == nullptr) continue;
+    if (breaker_open(tier)) {
+      // Source is sick: leave its records alone until the breaker closes
+      // (reads would fail and the error path would spin every sweep).
+      ++pass.skipped_open;
+      dobs.skipped_open_total.add();
+      continue;
+    }
     if (tier.base->resident_bytes() <= options_.peer_capacity_bytes) continue;
     if (shared == nullptr) {
       ++pass.over_budget;

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <thread>
 
+#include "tier/health.h"
 #include "tier/topology.h"
 
 namespace lowdiff::tier {
@@ -33,15 +34,21 @@ class Demoter {
     std::size_t peer_capacity_bytes = 64ull << 20;
     /// Background sweep cadence for start().
     std::chrono::milliseconds interval{200};
+    /// Optional breaker state: tiers with an open breaker are skipped —
+    /// counted in Pass::skipped_open and `tier.demoter.skipped_open_total`
+    /// — rather than hammered with migration traffic that would fail (or
+    /// worse, keep the breaker from ever probing closed).
+    std::shared_ptr<TierHealthMonitor> health;
   };
 
   Demoter(std::shared_ptr<TierTopology> topology, Options options);
   ~Demoter();
 
   struct Pass {
-    std::size_t migrated = 0;     ///< full checkpoints moved
-    std::uint64_t bytes = 0;      ///< data+marker bytes shipped
-    std::size_t over_budget = 0;  ///< peer tiers still over budget after
+    std::size_t migrated = 0;      ///< full checkpoints moved
+    std::uint64_t bytes = 0;       ///< data+marker bytes shipped
+    std::size_t over_budget = 0;   ///< peer tiers still over budget after
+    std::size_t skipped_open = 0;  ///< tiers skipped: breaker open
   };
 
   /// One sweep over every live peer-memory tier.  No-op (over_budget

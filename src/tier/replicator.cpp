@@ -1,10 +1,13 @@
 #include "tier/replicator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "common/crc32.h"
 #include "common/error.h"
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/atomic_commit.h"
@@ -56,16 +59,89 @@ class GatedBackend final : public StorageBackend {
   const TierTarget* target_;
 };
 
+/// Breaker gate + outcome observer, innermost caller-facing layer of a
+/// lane's stack: Monitored(Deadline(Gated(target.backend))).  Mutating ops
+/// consult admit() — an Open breaker rejects with non-retryable
+/// kCircuitOpen before the device (or its simulated link) is touched, so a
+/// retry loop above exits on attempt one.  Every completed op's outcome is
+/// reported back to the monitor; kNotFound is an answer, not a failure.
+class MonitoredBackend final : public StorageBackend {
+ public:
+  MonitoredBackend(std::shared_ptr<StorageBackend> inner, std::string name,
+                   TierHealthMonitor* health)
+      : inner_(std::move(inner)), name_(std::move(name)), health_(health) {}
+
+  Status write(const std::string& key, std::span<const std::byte> bytes) override {
+    if (health_ != nullptr && !health_->admit(name_)) {
+      return rejected("write", key);
+    }
+    return observe(inner_->write(key, bytes));
+  }
+  Result<std::vector<std::byte>> read(const std::string& key) const override {
+    // Reads are not admit()-gated — candidate filtering upstream already
+    // skipped hard-open lanes, and a read that does land doubles as a
+    // breaker probe via the outcome report.
+    auto result = inner_->read(key);
+    if (health_ != nullptr) {
+      if (result.ok() || result.status().code() == ErrorCode::kNotFound) {
+        health_->record_success(name_);
+      } else {
+        health_->record_failure(name_, result.status().code());
+      }
+    }
+    return result;
+  }
+  bool exists(const std::string& key) const override {
+    return inner_->exists(key);  // metadata probe: never gated or scored
+  }
+  void remove(const std::string& key) override { inner_->remove(key); }
+  std::vector<std::string> list() const override { return inner_->list(); }
+  StorageStats stats() const override { return inner_->stats(); }
+  Status sync() override {
+    if (health_ != nullptr && !health_->admit(name_)) {
+      return rejected("sync", "<barrier>");
+    }
+    return observe(inner_->sync());
+  }
+
+ private:
+  Status observe(Status status) {
+    if (health_ != nullptr) {
+      if (status.ok() || status.code() == ErrorCode::kNotFound) {
+        health_->record_success(name_);
+      } else {
+        health_->record_failure(name_, status.code());
+      }
+    }
+    return status;
+  }
+  Status rejected(const char* op, const std::string& key) const {
+    return Status(ErrorCode::kCircuitOpen, std::string(op) + " of '" + key +
+                                               "' short-circuited: tier " +
+                                               name_ + " breaker is open");
+  }
+
+  std::shared_ptr<StorageBackend> inner_;
+  std::string name_;
+  TierHealthMonitor* health_;
+};
+
 struct ReplicationObs {
   obs::Counter& records_total;
   obs::Counter& degraded_total;
   obs::Counter& replica_jobs_total;
+  obs::Counter& best_effort_total;
+  obs::Counter& block_waits_total;
+  obs::Counter& failfast_total;
 
   static ReplicationObs resolve() {
     auto& reg = obs::Registry::global();
     return ReplicationObs{reg.counter("tier.replication.records_total"),
                           reg.counter("tier.replication.degraded_total"),
-                          reg.counter("tier.replication.replica_jobs_total")};
+                          reg.counter("tier.replication.replica_jobs_total"),
+                          reg.counter("tier.replication.best_effort_total"),
+                          reg.counter("tier.replication.block_waits_total"),
+                          reg.counter("tier.replication.failfast_total")};
   }
 };
 
@@ -73,7 +149,12 @@ struct ReplicationObs {
 
 struct Replicator::Lane {
   TierTarget* target;
+  /// Stack, outermost first: io = Monitored(Deadline(Gated(backend))).
+  /// All traffic goes through `io`; the inner handles exist only to keep
+  /// the layers alive and runtime-tunable.
   std::shared_ptr<GatedBackend> gated;
+  std::shared_ptr<DeadlineStorage> deadline;
+  std::shared_ptr<MonitoredBackend> io;
   std::unique_ptr<AsyncWriter> writer;
   obs::Counter& writes_total;
   obs::Counter& bytes_written_total;
@@ -81,10 +162,26 @@ struct Replicator::Lane {
   obs::Counter& bytes_read_total;
   obs::Counter& read_corrupt_total;
 
-  Lane(TierTopology* topo, TierTarget* t, std::size_t queue_depth)
+  static std::unique_ptr<AsyncWriter> make_writer(
+      std::shared_ptr<StorageBackend> backend, const ReplicatorOptions& opt,
+      std::size_t lane_index) {
+    AsyncWriter::Options w;
+    w.max_pending = opt.writer_queue_depth;
+    w.retry = opt.replica_retry;
+    // Distinct stream per lane: decorrelated jitter, still a pure function
+    // of (replica_retry.seed, seed, lane_index).
+    w.seed = opt.seed + lane_index;
+    return std::make_unique<AsyncWriter>(std::move(backend), w);
+  }
+
+  Lane(TierTopology* topo, TierTarget* t, const ReplicatorOptions& opt,
+       std::size_t lane_index)
       : target(t),
         gated(std::make_shared<GatedBackend>(topo, t)),
-        writer(std::make_unique<AsyncWriter>(gated, queue_depth)),
+        deadline(std::make_shared<DeadlineStorage>(gated, opt.deadline)),
+        io(std::make_shared<MonitoredBackend>(deadline, t->name,
+                                              opt.health.get())),
+        writer(make_writer(io, opt, lane_index)),
         writes_total(obs::Registry::global().counter("tier." + t->name +
                                                      ".writes_total")),
         bytes_written_total(obs::Registry::global().counter(
@@ -100,7 +197,9 @@ struct Replicator::Lane {
 Replicator::Replicator(std::shared_ptr<TierTopology> topology,
                        PlacementPolicy policy, Options options)
     : topology_(std::move(topology)), policy_(std::move(policy)),
-      options_(options) {
+      options_(std::move(options)),
+      lag_gauge_(obs::Registry::global().gauge(
+          "tier.replication.durability_lag_records")) {
   LOWDIFF_ENSURE(topology_ != nullptr, "null topology");
   LOWDIFF_ENSURE(topology_->size() > 0, "empty topology");
   // Lanes pin TierTarget addresses: the topology must be fully built
@@ -108,8 +207,7 @@ Replicator::Replicator(std::shared_ptr<TierTopology> topology,
   lanes_.reserve(topology_->size());
   for (std::size_t i = 0; i < topology_->size(); ++i) {
     lanes_.push_back(std::make_unique<Lane>(topology_.get(),
-                                            &topology_->target(i),
-                                            options_.writer_queue_depth));
+                                            &topology_->target(i), options_, i));
   }
 }
 
@@ -125,22 +223,72 @@ Replicator::Lane& Replicator::lane_of(const TierTarget& target) const {
               std::source_location::current());
 }
 
+bool Replicator::lane_admitted(const TierTarget& target) const {
+  // Non-mutating planning check: a hard-open breaker excludes the lane.
+  // The mutating admit() (probe admission, short-circuit accounting) runs
+  // inside MonitoredBackend when the op actually reaches the lane.
+  return options_.health == nullptr || options_.health->readable(target.name);
+}
+
 Status Replicator::write(const std::string& key,
                          std::span<const std::byte> bytes) {
   LOWDIFF_TRACE_SPAN("tier.replicate", "tier");
   static thread_local ReplicationObs robs = ReplicationObs::resolve();
-  const PlacementPlan plan = policy_.plan(*topology_, options_.origin_server);
+
+  auto admitted_plan = [&] {
+    PlacementPlan plan = policy_.plan(*topology_, options_.origin_server);
+    std::erase_if(plan.targets, [&](const TierTarget* t) {
+      return !lane_admitted(*t);
+    });
+    return plan;
+  };
+  PlacementPlan plan = admitted_plan();
+  const std::size_t quorum = policy_.quorum();
+
+  if (plan.targets.size() < quorum) {
+    switch (options_.degrade) {
+      case DegradeMode::kFailFast:
+        robs.failfast_total.add();
+        return Status(ErrorCode::kUnavailable,
+                      "quorum unreachable for " + key + ": " +
+                          std::to_string(plan.targets.size()) + "/" +
+                          std::to_string(quorum) + " targets admitted");
+      case DegradeMode::kBlock: {
+        // Bounded stall: poll placement until quorum returns.  Breakers
+        // half-open and domains restore asynchronously, so replanning is
+        // the only way to notice.
+        robs.block_waits_total.add();
+        Stopwatch sw;
+        while (sw.elapsed_sec() < options_.block_timeout_sec) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(options_.block_poll_sec));
+          plan = admitted_plan();
+          if (plan.targets.size() >= quorum) break;
+        }
+        break;  // timed out: fall through to best-effort
+      }
+      case DegradeMode::kBestEffort:
+        break;
+    }
+  }
   if (plan.targets.empty()) {
     return Status(ErrorCode::kUnavailable,
-                  "no surviving tier target to place " + key);
+                  "no admitted tier target to place " + key);
   }
+
   robs.records_total.add();
   if (plan.degraded) robs.degraded_total.add();
+  if (plan.targets.size() < quorum) {
+    // Proceeding under-quorum: count it and remember the record so the
+    // repair engine (or a later refresh) can confirm when it catches up.
+    robs.best_effort_total.add();
+    if (!is_commit_marker(key)) note_lag(key);
+  }
 
   // Primary replica: synchronous, its status is the caller's status (the
   // CheckpointStore retry/commit machinery wraps this call).
   Lane& primary = lane_of(*plan.targets[0]);
-  const Status status = primary.gated->write(key, bytes);
+  const Status status = primary.io->write(key, bytes);
   if (status.ok()) {
     primary.writes_total.add();
     primary.bytes_written_total.add(bytes.size());
@@ -177,7 +325,11 @@ std::vector<Replicator::Lane*> Replicator::read_candidates() const {
   std::vector<Lane*> out;
   out.reserve(lanes_.size());
   for (const auto& lane : lanes_) {
-    if (topology_->alive(*lane->target)) out.push_back(lane.get());
+    if (!topology_->alive(*lane->target)) continue;
+    // Breaker-open lanes are not candidates at all: they are never touched,
+    // never consume a CRC-fallback slot, never show in read totals.
+    if (!lane_admitted(*lane->target)) continue;
+    out.push_back(lane.get());
   }
   std::sort(out.begin(), out.end(), [](const Lane* a, const Lane* b) {
     return a->target->read_bytes_per_sec > b->target->read_bytes_per_sec;
@@ -219,8 +371,8 @@ Result<std::vector<std::byte>> Replicator::read(const std::string& key) const {
     // Serve the first marker that *parses* — a bit-flipped marker on the
     // fastest tier must not mask a healthy one elsewhere.
     for (Lane* lane : candidates) {
-      if (!lane->gated->exists(key)) continue;
-      auto marker = lane->gated->read(key);
+      if (!lane->io->exists(key)) continue;
+      auto marker = lane->io->read(key);
       if (!marker.ok()) {
         last_error = marker.status();
         continue;
@@ -238,8 +390,8 @@ Result<std::vector<std::byte>> Replicator::read(const std::string& key) const {
     // own tier's commit manifest; fall across tiers on CRC failure.
     std::vector<Lane*> unverified;
     for (Lane* lane : candidates) {
-      if (!lane->gated->exists(key)) continue;
-      auto marker = lane->gated->read(commit_marker_key(key));
+      if (!lane->io->exists(key)) continue;
+      auto marker = lane->io->read(commit_marker_key(key));
       if (!marker.ok()) {
         if (marker.status().code() == ErrorCode::kNotFound) {
           unverified.push_back(lane);  // data landed, marker not (yet) there
@@ -254,7 +406,7 @@ Result<std::vector<std::byte>> Replicator::read(const std::string& key) const {
         note_corrupt(lane);
         continue;
       }
-      auto data = lane->gated->read(key);
+      auto data = lane->io->read(key);
       if (!data.ok()) {
         if (data.status().retryable()) {
           last_error = data.status();
@@ -276,7 +428,7 @@ Result<std::vector<std::byte>> Replicator::read(const std::string& key) const {
     // Unverified fallback: uncommitted objects are still readable (the
     // CheckpointStore layer decides what marker-less data means).
     for (Lane* lane : unverified) {
-      auto data = lane->gated->read(key);
+      auto data = lane->io->read(key);
       if (data.ok()) {
         account(lane, data->size());
         return data;
@@ -294,7 +446,7 @@ Result<std::vector<std::byte>> Replicator::read(const std::string& key) const {
 
 bool Replicator::exists(const std::string& key) const {
   for (const auto& lane : lanes_) {
-    if (lane->gated->exists(key)) return true;
+    if (lane->io->exists(key)) return true;
   }
   return false;
 }
@@ -302,13 +454,13 @@ bool Replicator::exists(const std::string& key) const {
 void Replicator::remove(const std::string& key) {
   // Drain replica queues first so a pending job cannot resurrect the key.
   flush();
-  for (const auto& lane : lanes_) lane->gated->remove(key);
+  for (const auto& lane : lanes_) lane->io->remove(key);
 }
 
 std::vector<std::string> Replicator::list() const {
   std::set<std::string> merged;
   for (const auto& lane : lanes_) {
-    for (auto& key : lane->gated->list()) merged.insert(std::move(key));
+    for (auto& key : lane->io->list()) merged.insert(std::move(key));
   }
   return {merged.begin(), merged.end()};
 }
@@ -323,10 +475,14 @@ Status Replicator::sync() {
   Status first_error;
   for (const auto& lane : lanes_) {
     if (!topology_->alive(*lane->target)) continue;
-    if (Status st = lane->gated->sync(); !st.ok() && first_error.ok()) {
+    // Skip open breakers: syncing a sick tier is pointless and would turn
+    // the whole barrier into an error while healthy tiers are fine.
+    if (!lane_admitted(*lane->target)) continue;
+    if (Status st = lane->io->sync(); !st.ok() && first_error.ok()) {
       first_error = st;
     }
   }
+  refresh_lag();
   return first_error;
 }
 
@@ -337,7 +493,7 @@ void Replicator::flush() {
 std::size_t Replicator::committed_replicas(const std::string& key) const {
   std::size_t count = 0;
   for (const auto& lane : lanes_) {
-    if (lane->gated->exists(commit_marker_key(key))) ++count;
+    if (lane->io->exists(commit_marker_key(key))) ++count;
   }
   return count;
 }
@@ -355,6 +511,49 @@ std::uint64_t Replicator::failed_replica_writes() const {
   std::uint64_t failed = 0;
   for (const auto& lane : lanes_) failed += lane->writer->failed_jobs();
   return failed;
+}
+
+std::uint64_t Replicator::writer_retries() const {
+  std::uint64_t retries = 0;
+  for (const auto& lane : lanes_) retries += lane->writer->retries();
+  return retries;
+}
+
+void Replicator::note_lag(const std::string& key) {
+  std::lock_guard lock(lag_mutex_);
+  lag_keys_.insert(key);
+  set_lag_gauge_locked();
+}
+
+void Replicator::set_lag_gauge_locked() {
+  lag_gauge_.set(static_cast<std::int64_t>(lag_keys_.size()));
+}
+
+std::vector<std::string> Replicator::lagging_keys() const {
+  std::lock_guard lock(lag_mutex_);
+  return {lag_keys_.begin(), lag_keys_.end()};
+}
+
+void Replicator::clear_lag(const std::string& key) {
+  std::lock_guard lock(lag_mutex_);
+  lag_keys_.erase(key);
+  set_lag_gauge_locked();
+}
+
+void Replicator::refresh_lag() {
+  std::vector<std::string> caught_up;
+  {
+    std::lock_guard lock(lag_mutex_);
+    if (lag_keys_.empty()) return;
+    caught_up.assign(lag_keys_.begin(), lag_keys_.end());
+  }
+  // durable() probes lanes without the lag lock held (it takes no locks of
+  // its own, but keeping the critical section tiny is free here).
+  std::erase_if(caught_up,
+                [&](const std::string& key) { return !durable(key); });
+  std::lock_guard lock(lag_mutex_);
+  for (const auto& key : caught_up) lag_keys_.erase(key);
+  set_lag_gauge_locked();
 }
 
 }  // namespace lowdiff::tier

@@ -23,15 +23,27 @@
 /// Because Replicator *is* a StorageBackend, the whole existing stack —
 /// CheckpointStore manifests, strategies, AsyncWriter, RecoveryEngine —
 /// routes through placement unchanged.
+///
+/// With a TierHealthMonitor attached (Options::health), every lane is
+/// additionally wrapped in a per-op deadline and a circuit breaker: ops
+/// against an Open lane short-circuit with non-retryable kCircuitOpen
+/// before touching the device, sick lanes are excluded from placement and
+/// read candidacy, and writes that cannot reach quorum degrade per
+/// Options::degrade (best-effort with lag tracking, bounded block, or
+/// fail-fast).  See DESIGN.md §9.
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "storage/async_writer.h"
 #include "storage/backend.h"
+#include "storage/deadline.h"
+#include "tier/health.h"
 #include "tier/placement.h"
 #include "tier/topology.h"
 
@@ -45,11 +57,43 @@ struct SourceTotals {
   std::uint64_t corrupt = 0;
 };
 
+/// What a write does when the placement quorum is not currently reachable
+/// (dead domains plus open breakers leave fewer than `quorum` admitted
+/// targets).  DESIGN.md §9.3.
+enum class DegradeMode : std::uint8_t {
+  /// Write to whatever is reachable, record the key as durability-lagging
+  /// (gauge `tier.replication.durability_lag_records`), and let the repair
+  /// engine restore quorum in the background.  Training never stalls.
+  kBestEffort,
+  /// Poll placement until quorum returns or `block_timeout_sec` elapses,
+  /// then fall back to best-effort.  Bounds the durability gap at the cost
+  /// of (bounded) stall.
+  kBlock,
+  /// Refuse the write with kUnavailable, touching no tier.  For jobs where
+  /// an under-replicated checkpoint is worse than no checkpoint.
+  kFailFast,
+};
+
 /// Namespace-scope (not nested) so it can default-construct as a `= {}`
 /// default argument inside the class body.
 struct ReplicatorOptions {
   std::size_t origin_server = 0;  ///< placement origin (this rank's server)
   std::size_t writer_queue_depth = 64;
+  /// Retry schedule for async replica jobs.  Its seed (satellite of
+  /// RetryPolicy::make_rng) plus `seed` below fully determine every
+  /// jitter draw, so replicated runs are reproducible under `ctest -j`.
+  RetryPolicy replica_retry;
+  /// Stream base for per-lane writer jitter RNGs (lane i uses seed + i).
+  std::uint64_t seed = 0x5e1f43a1;
+  DegradeMode degrade = DegradeMode::kBestEffort;
+  double block_timeout_sec = 0.25;  ///< kBlock: max wait for quorum
+  double block_poll_sec = 1e-3;     ///< kBlock: replan interval
+  /// Per-op deadlines applied to every lane (0 = disabled).  Timeouts are
+  /// surfaced as kTimeout and classified as soft failures by `health`.
+  DeadlineSpec deadline;
+  /// Shared breaker state.  Null (default) disables health gating entirely
+  /// — the pre-§9 behavior.
+  std::shared_ptr<TierHealthMonitor> health;
 };
 
 class Replicator final : public StorageBackend {
@@ -86,13 +130,35 @@ class Replicator final : public StorageBackend {
   const Options& options() const { return options_; }
   /// Replica jobs that failed even after the writer's retries.
   std::uint64_t failed_replica_writes() const;
+  /// Total retry attempts across every lane's writer.  The chaos tests
+  /// assert this stays *flat* while a breaker is open — the short-circuit
+  /// proof (an open lane's jobs fail with non-retryable kCircuitOpen on
+  /// the first attempt).
+  std::uint64_t writer_retries() const;
+
+  // --- degraded-durability accounting (DegradeMode::kBestEffort) -----------
+  /// Data keys written without a reachable quorum, not yet repaired.
+  std::vector<std::string> lagging_keys() const;
+  /// Drops one key from the lag set (the repair engine calls this after
+  /// restoring its quorum).
+  void clear_lag(const std::string& key);
+  /// Re-checks durable() for every lagging key and drops the ones that
+  /// caught up (async replicas may have landed since the write).
+  void refresh_lag();
+
+  const std::shared_ptr<TierHealthMonitor>& health() const {
+    return options_.health;
+  }
 
  private:
-  struct Lane;  // one tier target: gated backend + async writer + metrics
+  struct Lane;  // one tier target: gated+deadline+monitored stack + writer
 
   Lane& lane_of(const TierTarget& target) const;
-  /// Alive lanes holding `key`-servable data, fastest read bandwidth first.
+  /// Alive, breaker-readable lanes, fastest read bandwidth first.
   std::vector<Lane*> read_candidates() const;
+  bool lane_admitted(const TierTarget& target) const;
+  void note_lag(const std::string& key);
+  void set_lag_gauge_locked();
 
   std::shared_ptr<TierTopology> topology_;
   PlacementPolicy policy_;
@@ -103,6 +169,10 @@ class Replicator final : public StorageBackend {
   mutable std::map<std::string, SourceTotals> totals_;
   mutable StorageStats stats_;
   mutable std::mutex stats_mutex_;
+
+  mutable std::mutex lag_mutex_;
+  std::set<std::string> lag_keys_;
+  obs::Gauge& lag_gauge_;
 };
 
 }  // namespace lowdiff::tier

@@ -25,6 +25,7 @@ std::shared_ptr<TierTopology> TierTopology::for_cluster(
                                         opts.time_scale, t.name);
       t.backend = stack.root;
       t.base = stack.base;
+      t.faults = stack.faults;
       t.read_bytes_per_sec = cluster.storage_read_bytes_per_sec;
       t.volatile_storage = false;
       topo->add(std::move(t));
@@ -38,6 +39,7 @@ std::shared_ptr<TierTopology> TierTopology::for_cluster(
                                         opts.time_scale, t.name);
       t.backend = stack.root;
       t.base = stack.base;
+      t.faults = stack.faults;
       t.read_bytes_per_sec = cluster.network.bytes_per_sec;
       t.volatile_storage = true;
       topo->add(std::move(t));
@@ -53,6 +55,7 @@ std::shared_ptr<TierTopology> TierTopology::for_cluster(
                                       opts.time_scale, t.name);
     t.backend = stack.root;
     t.base = stack.base;
+    t.faults = stack.faults;
     t.read_bytes_per_sec = link.bytes_per_sec;
     t.volatile_storage = false;
     topo->add(std::move(t));

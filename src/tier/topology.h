@@ -59,6 +59,10 @@ struct TierTarget {
   /// Undecorated root object store — scenario hooks (wipe on server loss,
   /// byte-level corruption in tests).  Never read/written on normal paths.
   std::shared_ptr<MemStorage> base;
+  /// Fault-injection layer of the stack — the chaos switchboard flips a
+  /// live target sick (flap/slow) via set_spec without rebuilding.  Null
+  /// for hand-built targets with undecorated backends.
+  std::shared_ptr<FaultInjectingStorage> faults;
   double read_bytes_per_sec = 1.0 * kGB;
   bool volatile_storage = false;
 };
