@@ -23,7 +23,11 @@
 #include "core/checkpoint_store.h"
 #include "model/dataset.h"
 #include "model/mlp.h"
+#include "storage/atomic_commit.h"
+#include "storage/bandwidth.h"
 #include "storage/mem_storage.h"
+#include "storage/pipelined_writer.h"
+#include "storage/throttled.h"
 #include "common/rng.h"
 #include "compress/merge.h"
 #include "compress/quant8.h"
@@ -468,6 +472,156 @@ bool run_datapath_verification() {
   return ok;
 }
 
+// --- Persist pipeline verification gate ------------------------------------
+//
+// Same contract as the datapath gate: before any rates are reported, prove
+// on THIS machine that the pipelined persist path (a) writes bit-identical
+// artifacts to the serial committed path — markers included — and (b)
+// clears >= 2x bytes/sec over it on a modeled SSD link whose per-sync
+// flush cost is exactly what the grouped syncs amortize.  A mismatch or a
+// lost speedup exits nonzero; persist.pipeline.verify.* gauges land in
+// BENCH_micro.json.
+
+std::vector<std::pair<std::string, std::vector<std::byte>>>
+make_persist_records(std::size_t count, std::size_t bytes_each) {
+  std::vector<std::pair<std::string, std::vector<std::byte>>> records;
+  records.reserve(count);
+  Xoshiro256 rng(4242);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::byte> bytes(bytes_each);
+    for (auto& b : bytes) b = std::byte(rng() & 0xFF);
+    records.emplace_back("ckpt/rec/" + std::to_string(i), std::move(bytes));
+  }
+  return records;
+}
+
+bool run_persist_pipeline_verification() {
+  const bool smoke = lowdiff::bench::options().smoke;
+  const std::size_t count = smoke ? 16 : 48;
+  const std::size_t bytes_each =
+      smoke ? (std::size_t{128} << 10) : (std::size_t{1} << 20);
+  const auto records = make_persist_records(count, bytes_each);
+  const auto total_bytes = static_cast<double>(count * bytes_each);
+
+  PipelineSpec spec;
+  spec.enabled = true;
+  spec.window = 8;
+  spec.records_per_sync = 8;
+
+  // 1. Bit-exactness on bare memory: every byte the pipeline leaves behind
+  //    must equal the serial committed path's, key for key.
+  bool ok = true;
+  {
+    auto serial_mem = std::make_shared<MemStorage>();
+    RetryPolicy policy;
+    Xoshiro256 rng = policy.make_rng(1);
+    for (const auto& [key, bytes] : records) {
+      ok &= committed_write(*serial_mem, key, bytes, policy, rng).ok();
+    }
+    auto pipe_mem = std::make_shared<MemStorage>();
+    {
+      PipelinedWriter::Options opt;
+      opt.spec = spec;
+      PipelinedWriter writer(pipe_mem, opt);
+      for (const auto& [key, bytes] : records) {
+        writer.put(key, ByteBuffer(bytes));
+      }
+      ok &= writer.barrier().ok();
+    }
+    if (pipe_mem->list() != serial_mem->list()) {
+      std::fprintf(stderr, "[persist] MISMATCH: key sets differ\n");
+      ok = false;
+    } else {
+      for (const auto& key : serial_mem->list()) {
+        if (*pipe_mem->read(key) != *serial_mem->read(key)) {
+          std::fprintf(stderr, "[persist] MISMATCH: bytes differ at '%s'\n",
+                       key.c_str());
+          ok = false;
+        }
+      }
+    }
+  }
+
+  // 2. Throughput on a modeled SSD: generous bandwidth, a real per-sync
+  //    flush cost.  The serial path pays one flush per record; the
+  //    pipeline pays one per group and overlaps the CRC pass with the
+  //    in-flight write.
+  // Flush cost is kept well above this host's sleep granularity (~0.3 ms
+  // per throttled op) so the measured ratio reflects the modeled link, not
+  // scheduler noise.
+  LinkSpec link;
+  link.bytes_per_sec = 2e9;
+  link.latency_sec = 20e-6;
+  link.sync_latency_sec = 5e-3;
+  const auto timed = [&](auto&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return dt.count();
+  };
+  const double serial_sec = timed([&] {
+    auto ssd = std::make_shared<ThrottledStorage>(
+        std::make_shared<MemStorage>(), link, 1.0, "ssd");
+    RetryPolicy policy;
+    Xoshiro256 rng = policy.make_rng(2);
+    for (const auto& [key, bytes] : records) {
+      (void)committed_write(*ssd, key, bytes, policy, rng);
+    }
+  });
+  PipelinedWriter::Stats pipe_stats;
+  const double pipelined_sec = timed([&] {
+    auto ssd = std::make_shared<ThrottledStorage>(
+        std::make_shared<MemStorage>(), link, 1.0, "ssd");
+    PipelinedWriter::Options opt;
+    opt.spec = spec;
+    PipelinedWriter writer(ssd, opt);
+    for (const auto& [key, bytes] : records) {
+      writer.put(key, ByteBuffer(bytes));
+    }
+    (void)writer.barrier();
+    pipe_stats = writer.stats();
+  });
+
+  const double serial_bps = total_bytes / serial_sec;
+  const double pipelined_bps = total_bytes / pipelined_sec;
+  const double speedup = pipelined_bps / serial_bps;
+  const bool fast_enough = speedup >= 2.0;
+
+  auto& reg = obs::Registry::global();
+  reg.gauge("persist.pipeline.verify.ok").set(ok && fast_enough ? 1.0 : 0.0);
+  reg.gauge("persist.pipeline.verify.records").set(static_cast<double>(count));
+  reg.gauge("persist.pipeline.verify.record_bytes")
+      .set(static_cast<double>(bytes_each));
+  reg.gauge("persist.pipeline.verify.serial_bytes_per_sec").set(serial_bps);
+  reg.gauge("persist.pipeline.verify.pipelined_bytes_per_sec")
+      .set(pipelined_bps);
+  reg.gauge("persist.pipeline.verify.speedup_x").set(speedup);
+
+  std::printf(
+      "[persist] verify %s  (%zu records x %zu KiB, window %zu, cadence %zu)\n"
+      "[persist] serial %.1f MB/s  pipelined %.1f MB/s  speedup %.2fx "
+      "(gate >= 2.0x)\n",
+      ok && fast_enough ? "OK" : "FAILED", count, bytes_each >> 10,
+      spec.effective_window(), spec.effective_cadence(), serial_bps / 1e6,
+      pipelined_bps / 1e6, speedup);
+  std::printf(
+      "[persist] pipeline stats: %llu records, %llu syncs, %llu markers, "
+      "%llu retries, stall %.1f ms\n",
+      static_cast<unsigned long long>(pipe_stats.records),
+      static_cast<unsigned long long>(pipe_stats.syncs),
+      static_cast<unsigned long long>(pipe_stats.markers),
+      static_cast<unsigned long long>(pipe_stats.retries),
+      static_cast<double>(pipe_stats.stall_us) / 1e3);
+  if (!fast_enough) {
+    std::fprintf(stderr,
+                 "[persist] speedup gate missed: %.2fx < 2.0x on the modeled "
+                 "SSD link\n",
+                 speedup);
+  }
+  return ok && fast_enough;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -485,6 +639,10 @@ int main(int argc, char** argv) {
   // Bit-exactness gate first: a parallel/serial mismatch fails the run
   // before any rates are reported.
   if (!run_datapath_verification()) {
+    benchmark::Shutdown();
+    return 1;
+  }
+  if (!run_persist_pipeline_verification()) {
     benchmark::Shutdown();
     return 1;
   }

@@ -20,6 +20,7 @@
 #include "model/zoo.h"
 #include "optim/adam.h"
 #include "storage/mem_storage.h"
+#include "storage/pipelined_writer.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -145,6 +146,66 @@ int main(int argc, char** argv) {
                                                static_cast<double>(naive_per_diff))
                 << "\n";
     }
+  }
+  // --- pipelined persist parity at live scale -----------------------------------
+  //
+  // Same strategy loop twice — serial persist path vs the windowed
+  // pipeline — and the stores must hold byte-identical objects, markers
+  // included.  This is the live-scale end of the bit-identity gate
+  // (bench_micro gates raw records, test_persist_pipeline gates all six
+  // strategies at unit scale); a mismatch fails the bench run.
+  {
+    const auto spec = zoo::gpt2_small().scaled(1.0 / 64.0);
+    TopKCompressor comp(kRho);
+
+    auto run_lowdiff_into = [&](const PipelineSpec& pipeline) {
+      auto mem = std::make_shared<MemStorage>();
+      auto store = std::make_shared<CheckpointStore>(mem);
+      LowDiffStrategy::Options opt;
+      opt.batch_size = 2;
+      opt.full_interval = 11;
+      opt.pipeline = pipeline;
+      auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
+      SyntheticGradientGenerator gen(spec, 11);
+      Adam adam;
+      ModelState state(spec);
+      state.init_random(1);
+      Tensor grad(spec.param_count()), dense(spec.param_count());
+      for (std::uint64_t t = 0; t < 11; ++t) {
+        gen.generate(t, 0, grad);
+        auto payload = std::make_shared<const CompressedGrad>(
+            comp.compress(grad.cspan(), t));
+        comp.decompress(*payload, dense.span());
+        adam.step(state, dense.cspan());
+        strategy->after_step(t, state, std::move(payload));
+      }
+      strategy->flush();
+      strategy.reset();
+      return mem;
+    };
+
+    PipelineSpec pipeline;
+    pipeline.enabled = true;
+    pipeline.window = 4;
+    pipeline.records_per_sync = 2;
+    const auto serial_mem = run_lowdiff_into(PipelineSpec{});
+    const auto pipelined_mem = run_lowdiff_into(pipeline);
+
+    bool identical = serial_mem->list() == pipelined_mem->list();
+    if (identical) {
+      for (const auto& key : serial_mem->list()) {
+        if (*serial_mem->read(key) != *pipelined_mem->read(key)) {
+          std::cerr << "[pipeline] bytes differ at '" << key << "'\n";
+          identical = false;
+        }
+      }
+    } else {
+      std::cerr << "[pipeline] key sets differ between serial and pipelined\n";
+    }
+    std::cout << "Pipelined persist parity (LowDiff @ 1/64, window 4): "
+              << (identical ? "OK — " : "FAILED — ")
+              << serial_mem->list().size() << " objects compared\n";
+    if (!identical) return 1;
   }
   lowdiff::bench::dump_registry_json();
   return 0;

@@ -1,0 +1,37 @@
+# Script-mode runner (cmake -P): rerun one randomized test binary over a
+# range of fixed seed universes.  Each universe exports
+# LOWDIFF_TEST_SEED=<s>; the suites route every base seed through
+# tests/support/kill_points.h sweep_seed(), so universe 0 is bit-for-bit
+# the normal tier-1 run and universes 1..N are decorrelated remixes.
+# Registered as the `seed_sweep_*` ctest entries (`ctest -L seeds`).
+#
+# Required -D arguments: TEST_BIN (absolute path to the gtest binary),
+# SEED_COUNT (number of universes, seeds 1..SEED_COUNT).
+# Optional: GTEST_FILTER (forwarded as --gtest_filter).
+
+if(NOT TEST_BIN OR NOT SEED_COUNT)
+  message(FATAL_ERROR
+      "run_seed_sweep.cmake needs -DTEST_BIN= and -DSEED_COUNT=")
+endif()
+
+get_filename_component(bin_name ${TEST_BIN} NAME)
+set(run_args --gtest_brief=1)
+if(GTEST_FILTER)
+  list(APPEND run_args --gtest_filter=${GTEST_FILTER})
+endif()
+
+foreach(seed RANGE 1 ${SEED_COUNT})
+  message(STATUS "[seeds:${bin_name}] universe ${seed}/${SEED_COUNT}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env LOWDIFF_TEST_SEED=${seed}
+            ${TEST_BIN} ${run_args}
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "[seeds:${bin_name}] FAILED in universe LOWDIFF_TEST_SEED=${seed} "
+        "(rc=${run_rc}).  Reproduce with:\n"
+        "  LOWDIFF_TEST_SEED=${seed} ${TEST_BIN} ${run_args}")
+  endif()
+endforeach()
+
+message(STATUS "[seeds:${bin_name}] all ${SEED_COUNT} universes green")

@@ -48,8 +48,36 @@ std::string CheckpointStore::shard_key(std::uint64_t iter, std::uint32_t rank,
   return buf;
 }
 
+void CheckpointStore::enable_pipeline(const PipelineSpec& spec) {
+  if (!spec.enabled) {
+    pipeline_.reset();
+    return;
+  }
+  PipelinedWriter::Options opt;
+  opt.spec = spec;
+  opt.retry = retry_;
+  opt.committed = true;
+  opt.seed = 0xc4ec9014;
+  pipeline_ = std::make_unique<PipelinedWriter>(backend_, opt);
+}
+
 Status CheckpointStore::write_committed(const std::string& key,
                                         std::span<const std::byte> bytes) const {
+  if (pipeline_ != nullptr) {
+    // The pipeline owns the bytes asynchronously, so stage them in a pooled
+    // lease (callers pass spans over stack-local serializations).
+    PooledBuffer staged = BufferPool::global().acquire(bytes.size());
+    if (!bytes.empty()) std::memcpy(staged.data(), bytes.data(), bytes.size());
+    auto final_status = std::make_shared<Status>();
+    pipeline_->put(key, ByteBuffer(std::move(staged)),
+                   [final_status](const Status& st) { *final_status = st; });
+    // barrier() returns only once every pending record — including this
+    // one — is finalized, so *final_status is set even when a concurrent
+    // writer's barrier reaped our completion.  Concurrent callers in the
+    // same window share sync barriers; that is the coalescing win.
+    (void)pipeline_->barrier();
+    return *final_status;
+  }
   // Fork a per-call RNG so retry sleeps don't serialize concurrent writers
   // (sharded saves run one thread per rank).
   std::uint64_t fork_seed;

@@ -27,6 +27,7 @@
 #include "compress/merge.h"
 #include "model/model_state.h"
 #include "storage/backend.h"
+#include "storage/pipelined_writer.h"
 
 namespace lowdiff {
 
@@ -39,6 +40,15 @@ class CheckpointStore {
   const StorageBackend& backend() const { return *backend_; }
   std::shared_ptr<StorageBackend> backend_ptr() const { return backend_; }
   const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Routes every committed write through one shared PipelinedWriter
+  /// (windowed in-flight writes, batched syncs, ordered markers) instead of
+  /// a blocking committed_write per record — concurrent sharded saves then
+  /// coalesce their fsyncs.  Bytes on disk are identical either way.  Pass
+  /// a spec with enabled=false to return to the serial path.  Not safe to
+  /// flip while writes are in flight.
+  void enable_pipeline(const PipelineSpec& spec);
+  bool pipeline_enabled() const { return pipeline_ != nullptr; }
 
   // --- writes -------------------------------------------------------------
 
@@ -117,9 +127,12 @@ class CheckpointStore {
   };
   Usage usage() const;
 
-  /// Storage retries performed by this store's reads/writes so far.
+  /// Storage retries performed by this store's reads/writes so far
+  /// (pipelined writes report their device-level retries here too).
   std::uint64_t retry_count() const {
-    return retries_.load(std::memory_order_relaxed);
+    std::uint64_t n = retries_.load(std::memory_order_relaxed);
+    if (pipeline_ != nullptr) n += pipeline_->stats().retries;
+    return n;
   }
 
  private:
@@ -144,6 +157,8 @@ class CheckpointStore {
 
   std::shared_ptr<StorageBackend> backend_;
   RetryPolicy retry_;
+  /// Non-null iff enable_pipeline() opted in; shared by all writer threads.
+  mutable std::unique_ptr<PipelinedWriter> pipeline_;
   mutable std::mutex rng_mutex_;
   mutable Xoshiro256 rng_;
   mutable std::atomic<std::uint64_t> retries_{0};

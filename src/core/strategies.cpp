@@ -15,11 +15,15 @@ namespace lowdiff {
 namespace {
 
 /// Strategies persist through the atomic commit protocol so a crash
-/// mid-write never leaves a visible torn checkpoint.
-AsyncWriter::Options committed_writer(std::size_t max_pending) {
+/// mid-write never leaves a visible torn checkpoint.  A non-default
+/// `pipeline` opts the writer into the windowed persist path (same bytes,
+/// overlapped schedule).
+AsyncWriter::Options committed_writer(std::size_t max_pending,
+                                      const PipelineSpec& pipeline = {}) {
   AsyncWriter::Options opt;
   opt.max_pending = max_pending;
   opt.committed = true;
+  opt.pipeline = pipeline;
   return opt;
 }
 
@@ -41,11 +45,15 @@ StrategyObs StrategyObs::resolve(const std::string& label) {
 // ---------------------------------------------------------------------------
 
 TorchSaveStrategy::TorchSaveStrategy(std::shared_ptr<CheckpointStore> store,
-                                     std::uint64_t interval)
+                                     std::uint64_t interval,
+                                     const PipelineSpec& pipeline)
     : store_(std::move(store)), interval_(interval),
       obs_(StrategyObs::resolve("torch_save")) {
   LOWDIFF_ENSURE(store_ != nullptr, "null store");
   LOWDIFF_ENSURE(interval_ >= 1, "interval must be >= 1");
+  // torch.save persists synchronously through the store, so its opt-in is
+  // the store-level pipeline (sync coalescing across concurrent writers).
+  if (pipeline.enabled) store_->enable_pipeline(pipeline);
 }
 
 void TorchSaveStrategy::after_step(std::uint64_t iter, const ModelState& state,
@@ -73,10 +81,12 @@ StrategyStats TorchSaveStrategy::stats() const {
 // ---------------------------------------------------------------------------
 
 CheckFreqStrategy::CheckFreqStrategy(std::shared_ptr<CheckpointStore> store,
-                                     std::uint64_t interval)
+                                     std::uint64_t interval,
+                                     const PipelineSpec& pipeline)
     : store_(std::move(store)), interval_(interval),
       obs_(StrategyObs::resolve("checkfreq")),
-      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
+      writer_(store_->backend_ptr(),
+              committed_writer(/*max_pending=*/1, pipeline)) {
   LOWDIFF_ENSURE(interval_ >= 1, "interval must be >= 1");
 }
 
@@ -118,13 +128,15 @@ StrategyStats CheckFreqStrategy::stats() const {
 GeminiStrategy::GeminiStrategy(std::shared_ptr<StorageBackend> memory_tier,
                                std::shared_ptr<CheckpointStore> durable,
                                std::uint64_t interval,
-                               std::uint64_t persist_interval)
+                               std::uint64_t persist_interval,
+                               const PipelineSpec& pipeline)
     : memory_tier_(std::move(memory_tier)),
       tier_store_(memory_tier_),  // throws on a null tier
       durable_(std::move(durable)), interval_(interval),
       persist_interval_(persist_interval),
       obs_(StrategyObs::resolve("gemini")),
-      writer_(durable_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
+      writer_(durable_->backend_ptr(),
+              committed_writer(/*max_pending=*/1, pipeline)) {
   LOWDIFF_ENSURE(interval_ >= 1 && persist_interval_ >= 1, "bad intervals");
 }
 
@@ -240,11 +252,13 @@ struct NaiveDiffRecord {
 NaiveDcStrategy::NaiveDcStrategy(std::shared_ptr<CheckpointStore> store,
                                  std::unique_ptr<Compressor> compressor,
                                  std::uint64_t diff_interval,
-                                 std::uint64_t full_interval)
+                                 std::uint64_t full_interval,
+                                 const PipelineSpec& pipeline)
     : store_(std::move(store)), compressor_(std::move(compressor)),
       diff_interval_(diff_interval), full_interval_(full_interval),
       obs_(StrategyObs::resolve("naivedc")),
-      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/1)) {
+      writer_(store_->backend_ptr(),
+              committed_writer(/*max_pending=*/1, pipeline)) {
   LOWDIFF_ENSURE(compressor_ != nullptr, "null compressor");
   LOWDIFF_ENSURE(diff_interval_ >= 1 && full_interval_ >= 1, "bad intervals");
 }
@@ -357,7 +371,8 @@ LowDiffStrategy::LowDiffStrategy(std::shared_ptr<CheckpointStore> store,
     : store_(std::move(store)), options_(options),
       obs_(StrategyObs::resolve("lowdiff")),
       queue_(options.queue_capacity),
-      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/4)) {
+      writer_(store_->backend_ptr(),
+              committed_writer(/*max_pending=*/4, options.pipeline)) {
   LOWDIFF_ENSURE(options_.batch_size >= 1, "batch size must be >= 1");
   LOWDIFF_ENSURE(options_.full_interval >= 1, "full interval must be >= 1");
   auto& reg = obs::Registry::global();
@@ -455,10 +470,17 @@ void LowDiffStrategy::checkpointing_loop() {
         ready = std::move(batch_buffer_);
         batch_buffer_.clear();
       }
+    }
+    // Submit before publishing the processed count: flush() reads
+    // processed_ == enqueued_ as "every full batch has reached the writer",
+    // so the submit must happen-before the bump or flush() can return with
+    // the last batch still unsubmitted.
+    if (!ready.empty()) write_batch(std::move(ready));
+    {
+      std::lock_guard lock(mutex_);
       ++processed_;
     }
     drained_cv_.notify_all();
-    if (!ready.empty()) write_batch(std::move(ready));
   }
   // Drain: write any full batches left implicit in the buffer on close.
   std::vector<CompressedGrad> tail;
@@ -543,7 +565,8 @@ LowDiffPlusStrategy::LowDiffPlusStrategy(std::shared_ptr<CheckpointStore> store,
     : store_(std::move(store)), optimizer_(std::move(optimizer)),
       options_(options), obs_(StrategyObs::resolve("lowdiffplus")),
       queue_(options.queue_capacity),
-      writer_(store_->backend_ptr(), committed_writer(/*max_pending=*/2)),
+      writer_(store_->backend_ptr(),
+              committed_writer(/*max_pending=*/2, options.pipeline)),
       replica_(init.clone()) {
   LOWDIFF_ENSURE(optimizer_ != nullptr, "null optimizer");
   LOWDIFF_ENSURE(options_.persist_interval >= 1, "persist interval must be >= 1");
@@ -615,12 +638,18 @@ void LowDiffPlusStrategy::update_loop() {
         obs_.full_total.add(1);
         obs_.bytes_total.add(bytes.size());
       }
-      ++chunks_processed_;
       lock.unlock();
+      // Submit before publishing the processed count: flush() reads
+      // chunks_processed_ == chunks_enqueued_ as "every due persist has
+      // reached the writer", so the submit must happen-before the bump or
+      // flush() can return with the final full checkpoint still unsubmitted.
       if (persist_due) {
         writer_.submit(CheckpointStore::full_key(chunk.iteration),
                        std::move(bytes));
       }
+      lock.lock();
+      ++chunks_processed_;
+      lock.unlock();
       replica_cv_.notify_all();
       continue;
     }

@@ -92,7 +92,10 @@ class NoCheckpointStrategy final : public CheckpointStrategy {
 /// entire serialize + write.
 class TorchSaveStrategy final : public CheckpointStrategy {
  public:
-  TorchSaveStrategy(std::shared_ptr<CheckpointStore> store, std::uint64_t interval);
+  /// `pipeline.enabled` opts the store's committed writes into the windowed
+  /// persist path (CheckpointStore::enable_pipeline).
+  TorchSaveStrategy(std::shared_ptr<CheckpointStore> store, std::uint64_t interval,
+                    const PipelineSpec& pipeline = {});
 
   void after_step(std::uint64_t iter, const ModelState& state,
                   std::shared_ptr<const CompressedGrad> sync_grad) override;
@@ -112,7 +115,8 @@ class TorchSaveStrategy final : public CheckpointStrategy {
 /// waits for the previous persist (Mohan et al., §2.2).
 class CheckFreqStrategy final : public CheckpointStrategy {
  public:
-  CheckFreqStrategy(std::shared_ptr<CheckpointStore> store, std::uint64_t interval);
+  CheckFreqStrategy(std::shared_ptr<CheckpointStore> store, std::uint64_t interval,
+                    const PipelineSpec& pipeline = {});
 
   void after_step(std::uint64_t iter, const ModelState& state,
                   std::shared_ptr<const CompressedGrad> sync_grad) override;
@@ -134,7 +138,8 @@ class GeminiStrategy final : public CheckpointStrategy {
  public:
   GeminiStrategy(std::shared_ptr<StorageBackend> memory_tier,
                  std::shared_ptr<CheckpointStore> durable,
-                 std::uint64_t interval, std::uint64_t persist_interval);
+                 std::uint64_t interval, std::uint64_t persist_interval,
+                 const PipelineSpec& pipeline = {});
 
   void after_step(std::uint64_t iter, const ModelState& state,
                   std::shared_ptr<const CompressedGrad> sync_grad) override;
@@ -166,7 +171,8 @@ class NaiveDcStrategy final : public CheckpointStrategy {
  public:
   NaiveDcStrategy(std::shared_ptr<CheckpointStore> store,
                   std::unique_ptr<Compressor> compressor,
-                  std::uint64_t diff_interval, std::uint64_t full_interval);
+                  std::uint64_t diff_interval, std::uint64_t full_interval,
+                  const PipelineSpec& pipeline = {});
 
   void after_step(std::uint64_t iter, const ModelState& state,
                   std::shared_ptr<const CompressedGrad> sync_grad) override;
@@ -214,6 +220,9 @@ class LowDiffStrategy final : public CheckpointStrategy {
     /// over batched records).  Must outlive the strategy.  Null keeps every
     /// datapath stage serial; the bytes produced are identical either way.
     ThreadPool* datapath_pool = nullptr;
+    /// Opt-in pipelined persist path for the background writer (windowed
+    /// writes, batched syncs; identical bytes on disk).
+    PipelineSpec pipeline;
   };
 
   LowDiffStrategy(std::shared_ptr<CheckpointStore> store, Options options);
@@ -266,6 +275,8 @@ class LowDiffPlusStrategy final : public CheckpointStrategy {
     std::size_t queue_capacity = 64;
     /// Optional PCIe model for chunk offloads.
     std::shared_ptr<Throttler> pcie;
+    /// Opt-in pipelined persist path for the background writer.
+    PipelineSpec pipeline;
   };
 
   /// `init` must equal the training-side initial state (the paper deep-

@@ -1,5 +1,7 @@
 #include "storage/async_writer.h"
 
+#include <chrono>
+
 #include "common/error.h"
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -84,6 +86,10 @@ void AsyncWriter::shutdown() {
 }
 
 void AsyncWriter::run() {
+  if (options_.pipeline.enabled) {
+    run_pipelined();
+    return;
+  }
   // The worker thread owns the RNG exclusively; no locking needed.  Seeded
   // from the retry policy so the jitter schedule is injectable end-to-end.
   Xoshiro256 rng = options_.retry.make_rng(options_.seed);
@@ -125,6 +131,74 @@ void AsyncWriter::run() {
     completed_.fetch_add(1, std::memory_order_release);
     flush_cv_.notify_all();
   }
+}
+
+// Pipelined worker loop: jobs drain into a PipelinedWriter as fast as the
+// queue yields them (the in-flight window, not the job boundary, paces the
+// device), with a pipeline barrier whenever the queue goes momentarily idle
+// so flush() keeps its "everything submitted is durable-ordered" meaning.
+void AsyncWriter::run_pipelined() {
+  if (obs::Tracer::global().enabled()) {
+    obs::Tracer::global().set_thread_name("async_writer");
+  }
+  PipelinedWriter::Options popt;
+  popt.spec = options_.pipeline;
+  popt.retry = options_.retry;
+  popt.committed = options_.committed;
+  popt.seed = options_.seed;
+  PipelinedWriter pipe(backend_, popt);
+  std::uint64_t retries_seen = 0;
+
+  // Completion callbacks run on this thread (inside put/barrier reaps).
+  const auto account = [this](const std::shared_ptr<const Job>& job,
+                              const std::chrono::steady_clock::time_point t0) {
+    return [this, job, t0](const Status& status) {
+      metrics_.persist_us.observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      metrics_.jobs_total.add(1);
+      metrics_.bytes_total.add(job->bytes.size());
+      try {
+        if (job->on_result) job->on_result(status);
+        if (status.ok()) {
+          if (job->on_done) job->on_done();
+        } else {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.failed_total.add(1);
+        }
+      } catch (const std::exception& e) {
+        LOWDIFF_LOG_ERROR("pipelined write callback for '", job->key,
+                          "' threw: ", e.what());
+      }
+      completed_.fetch_add(1, std::memory_order_release);
+      flush_cv_.notify_all();
+    };
+  };
+
+  for (;;) {
+    auto job = queue_.get();
+    if (!job.has_value()) break;  // closed and drained
+    for (;;) {
+      obs::TraceSpan span(obs::Tracer::global(), "writer.persist", "writer");
+      const auto t0 = std::chrono::steady_clock::now();
+      pipe.put((*job)->key, (*job)->bytes, account(*job, t0));
+      auto next = queue_.try_get();
+      if (!next.has_value()) break;
+      job = std::move(next);
+    }
+    // Queue idle: drain the window so a lone job is not stranded behind
+    // the sync cadence, and flush() waiters can make progress.
+    (void)pipe.barrier();
+    const std::uint64_t r = pipe.stats().retries;
+    retries_.fetch_add(r - retries_seen, std::memory_order_relaxed);
+    metrics_.retries_total.add(r - retries_seen);
+    retries_seen = r;
+  }
+  (void)pipe.barrier();
+  const std::uint64_t r = pipe.stats().retries;
+  retries_.fetch_add(r - retries_seen, std::memory_order_relaxed);
+  metrics_.retries_total.add(r - retries_seen);
 }
 
 }  // namespace lowdiff

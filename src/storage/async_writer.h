@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "queue/reusing_queue.h"
 #include "storage/backend.h"
+#include "storage/pipelined_writer.h"
 
 namespace lowdiff {
 
@@ -60,6 +61,11 @@ class AsyncWriter {
     /// RetryPolicy::make_rng so independent writers decorrelate while the
     /// whole schedule stays a pure function of the injected seeds.
     std::uint64_t seed = 0xa51dc0de;
+    /// Opt-in pipelined persist path: when enabled, jobs flow through a
+    /// PipelinedWriter (windowed in-flight writes, batched syncs, ordered
+    /// markers) instead of one blocking committed_write per job.  Artifact
+    /// bytes are identical either way; only the schedule changes.
+    PipelineSpec pipeline;
   };
 
   AsyncWriter(std::shared_ptr<StorageBackend> backend, Options options);
@@ -114,6 +120,7 @@ class AsyncWriter {
   };
 
   void run();
+  void run_pipelined();
 
   std::shared_ptr<StorageBackend> backend_;
   Options options_;

@@ -20,7 +20,15 @@ Throttler::Throttler(LinkSpec link, double time_scale, std::string name)
 }
 
 double Throttler::acquire(std::uint64_t bytes) {
-  const double cost = link_.transfer_time(bytes);          // modeled seconds
+  return occupy(link_.transfer_time(bytes), bytes);
+}
+
+double Throttler::acquire_seconds(double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return occupy(seconds, 0);
+}
+
+double Throttler::occupy(double cost, std::uint64_t bytes) {
   const double wall_cost = cost * time_scale_;              // wall seconds
   double finish;
   double now;
@@ -35,7 +43,7 @@ double Throttler::acquire(std::uint64_t bytes) {
     busy_time_ += cost;
     total_bytes_ += bytes;
   }
-  if (bytes_metric_ != nullptr) bytes_metric_->add(bytes);
+  if (bytes_metric_ != nullptr && bytes > 0) bytes_metric_->add(bytes);
   // Wall time this caller is about to spend blocked: own transfer plus any
   // queueing behind earlier transfers on the link.
   if (wait_metric_ != nullptr && finish > now) {

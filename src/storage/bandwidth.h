@@ -22,6 +22,11 @@ namespace lowdiff {
 struct LinkSpec {
   double bytes_per_sec = 1.0 * kGB;
   double latency_sec = 0.0;
+  /// Cost of a durability barrier (fsync analogue) on this device.  0 by
+  /// default so presets and existing experiments are unchanged; the persist
+  /// pipeline benches set it to model per-sync flush cost, which is exactly
+  /// what sync batching amortizes.
+  double sync_latency_sec = 0.0;
 
   /// Time (seconds, unscaled) to move `bytes` over this link.
   double transfer_time(std::uint64_t bytes) const {
@@ -62,6 +67,11 @@ class Throttler {
   /// transfer time in seconds.
   double acquire(std::uint64_t bytes);
 
+  /// Occupies the link for a fixed modeled duration (no bytes) — used for
+  /// sync barriers (link.sync_latency_sec) and other non-transfer costs.
+  /// Serialized FIFO with transfers like acquire().  Returns `seconds`.
+  double acquire_seconds(double seconds);
+
   const LinkSpec& link() const { return link_; }
   double time_scale() const { return time_scale_; }
 
@@ -70,6 +80,8 @@ class Throttler {
   std::uint64_t total_bytes() const;
 
  private:
+  double occupy(double cost, std::uint64_t bytes);
+
   LinkSpec link_;
   double time_scale_;
   obs::Counter* bytes_metric_ = nullptr;

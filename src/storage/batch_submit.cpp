@@ -1,0 +1,204 @@
+#include "storage/batch_submit.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/trace.h"
+
+namespace lowdiff {
+
+SubmitOp SubmitOp::sync_op(std::uint64_t user_data) {
+  SubmitOp op;
+  op.kind = Kind::kSync;
+  op.user_data = user_data;
+  return op;
+}
+
+void SubmitOp::append_chunks(std::vector<SubmitOp>& out, const std::string& key,
+                             const ByteBuffer& record, std::size_t chunk_bytes,
+                             std::uint64_t user_data) {
+  LOWDIFF_ENSURE(chunk_bytes > 0, "chunk_bytes must be positive");
+  const std::size_t total = record.size();
+  std::size_t offset = 0;
+  do {
+    SubmitOp op;
+    op.kind = Kind::kChunk;
+    op.key = key;
+    op.record = record;
+    op.offset = offset;
+    op.len = std::min(chunk_bytes, total - offset);
+    offset += op.len;
+    op.last = offset >= total;
+    op.user_data = user_data;
+    out.push_back(std::move(op));
+  } while (offset < total);
+}
+
+BatchSubmitQueue::BatchSubmitQueue(std::shared_ptr<StorageBackend> backend,
+                                   Options options)
+    : backend_(std::move(backend)),
+      options_(options),
+      staging_(options.staging != nullptr ? options.staging
+                                          : &BufferPool::global()) {
+  LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
+  device_ = std::thread([this] { run_device(); });
+}
+
+BatchSubmitQueue::~BatchSubmitQueue() {
+  close();
+  if (device_.joinable()) device_.join();
+}
+
+bool BatchSubmitQueue::submit(std::vector<SubmitOp> batch) {
+  if (batch.empty()) return true;
+  {
+    std::unique_lock lock(mutex_);
+    sq_not_full_.wait(lock, [this, &batch] {
+      return closed_ || options_.sq_depth == 0 ||
+             sq_.size() + batch.size() <= options_.sq_depth ||
+             // A batch larger than the whole SQ must still be admittable
+             // once the queue is empty, or it would wait forever.
+             (sq_.empty() && batch.size() > options_.sq_depth);
+    });
+    if (closed_) return false;
+    for (auto& op : batch) sq_.push_back(std::move(op));
+    stats_.ops_submitted += batch.size();
+    inflight_ += batch.size();
+  }
+  sq_not_empty_.notify_one();
+  return true;
+}
+
+std::vector<Completion> BatchSubmitQueue::complete(std::size_t min_n) {
+  std::unique_lock lock(mutex_);
+  cq_not_empty_.wait(lock, [this, min_n] {
+    return cq_.size() >= min_n || (drained_ && sq_.empty());
+  });
+  std::vector<Completion> out(cq_.begin(), cq_.end());
+  cq_.clear();
+  return out;
+}
+
+std::vector<Completion> BatchSubmitQueue::try_complete() {
+  std::lock_guard lock(mutex_);
+  std::vector<Completion> out(cq_.begin(), cq_.end());
+  cq_.clear();
+  return out;
+}
+
+void BatchSubmitQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  sq_not_empty_.notify_all();
+  sq_not_full_.notify_all();
+}
+
+std::size_t BatchSubmitQueue::inflight() const {
+  std::lock_guard lock(mutex_);
+  return inflight_;
+}
+
+BatchSubmitQueue::Stats BatchSubmitQueue::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void BatchSubmitQueue::run_device() {
+  if (obs::Tracer::global().enabled()) {
+    obs::Tracer::global().set_thread_name("persist_device");
+  }
+  Xoshiro256 rng = options_.retry.make_rng(options_.seed);
+  for (;;) {
+    SubmitOp op;
+    {
+      std::unique_lock lock(mutex_);
+      sq_not_empty_.wait(lock, [this] { return closed_ || !sq_.empty(); });
+      if (sq_.empty()) {
+        drained_ = true;
+        cq_not_empty_.notify_all();
+        return;
+      }
+      op = std::move(sq_.front());
+      sq_.pop_front();
+    }
+    apply(op, rng);
+    {
+      std::lock_guard lock(mutex_);
+      --inflight_;
+      ++stats_.ops_applied;
+    }
+    sq_not_full_.notify_all();
+  }
+}
+
+void BatchSubmitQueue::apply(SubmitOp& op, Xoshiro256& rng) {
+  if (op.kind == SubmitOp::Kind::kSync) {
+    std::uint64_t retries = 0;
+    const Status st = run_with_retry(
+        options_.retry, rng, [this] { return backend_->sync(); }, &retries);
+    std::lock_guard lock(mutex_);
+    stats_.retries += retries;
+    ++stats_.syncs;
+    cq_.push_back(Completion{op.user_data, op.kind, st});
+    cq_not_empty_.notify_all();
+    return;
+  }
+
+  // kChunk.  Single-chunk records write zero-copy from the shared payload;
+  // multi-chunk records assemble in a pooled staging buffer first (the
+  // double-buffer lease: the producer's buffer is releasable as soon as its
+  // chunks are copied, while the slow throttled write runs from staging).
+  std::span<const std::byte> write_span;
+  bool do_write = false;
+  if (op.offset == 0 && op.last) {
+    write_span = op.record.cspan();
+    do_write = true;
+    std::lock_guard lock(mutex_);
+    ++stats_.zero_copy_writes;
+  } else {
+    auto it = staging_by_key_.find(op.key);
+    if (it == staging_by_key_.end()) {
+      StagingEntry entry;
+      entry.buf = staging_->acquire(op.record.size());
+      it = staging_by_key_.emplace(op.key, std::move(entry)).first;
+    }
+    StagingEntry& entry = it->second;
+    LOWDIFF_ENSURE(op.offset + op.len <= entry.buf.size(),
+                   "chunk outside staged record");
+    if (op.len > 0) {
+      std::memcpy(entry.buf.data() + op.offset, op.record.data() + op.offset,
+                  op.len);
+    }
+    entry.filled += op.len;
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.staged_copies;
+    }
+    if (!op.last) return;  // chunk staged; no completion until the last one
+    LOWDIFF_ENSURE(entry.filled == entry.buf.size(),
+                   "record staged with missing chunks");
+    write_span = entry.buf.cspan();
+    do_write = true;
+  }
+
+  Status st;
+  if (do_write) {
+    std::uint64_t retries = 0;
+    st = run_with_retry(
+        options_.retry, rng,
+        [this, &op, write_span] { return backend_->write(op.key, write_span); },
+        &retries);
+    staging_by_key_.erase(op.key);  // releases the staging lease, if any
+    std::lock_guard lock(mutex_);
+    stats_.retries += retries;
+    ++stats_.records_written;
+    cq_.push_back(Completion{op.user_data, op.kind, st});
+    cq_not_empty_.notify_all();
+  }
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file batch_submit.h
+/// io_uring-style async batch submission over a StorageBackend.
+///
+/// The serial persist path issues one blocking write() per record and one
+/// sync() per commit, leaving the (modeled) SSD link idle while the caller
+/// computes the next record's CRC and frame.  This queue decouples the two:
+/// callers stage ops into a submission queue (`submit(batch)`), a single
+/// device thread applies them FIFO, and callers reap results from a
+/// completion queue (`complete()` / `try_complete()`), exactly the
+/// SQ/CQ shape of io_uring or the FastPersist double-buffered writer.
+///
+/// Op kinds:
+///  - kChunk: a slice of a record.  Chunks are memcpy'd into a staging
+///    buffer leased from a BufferPool (the "pinned DMA buffer"); the chunk
+///    carrying `last` triggers the actual backend write of the assembled
+///    record.  A record that fits one chunk skips staging entirely and
+///    writes zero-copy from the shared payload.
+///  - kSync: a durability barrier — backend.sync() at this queue position.
+///
+/// Ordering contract (what the commit protocol builds on):
+///  - ops are applied in submission order, one batch is contiguous;
+///  - completions are delivered in application order;
+///  - a kSync completes only after every earlier op was applied.
+///
+/// Writes and syncs go through run_with_retry, so transient backend faults
+/// are absorbed with the same bounded backoff as the serial path.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer_pool.h"
+#include "common/retry.h"
+#include "storage/backend.h"
+
+namespace lowdiff {
+
+/// One submission-queue entry.
+struct SubmitOp {
+  enum class Kind : std::uint8_t { kChunk, kSync };
+
+  Kind kind = Kind::kChunk;
+  std::string key;        ///< kChunk: destination object key
+  ByteBuffer record;      ///< kChunk: the *whole* record (shared, immutable)
+  std::size_t offset = 0; ///< kChunk: this chunk's slice of `record`
+  std::size_t len = 0;
+  bool last = false;      ///< kChunk: final chunk — write the record
+  std::uint64_t user_data = 0;  ///< echoed on the completion
+
+  static SubmitOp sync_op(std::uint64_t user_data);
+
+  /// Appends the chunk ops covering `record` (at least one, even when
+  /// empty) to `out`.  Every chunk shares the record's allocation; only the
+  /// last one carries `last = true` and produces a completion.
+  static void append_chunks(std::vector<SubmitOp>& out, const std::string& key,
+                            const ByteBuffer& record, std::size_t chunk_bytes,
+                            std::uint64_t user_data);
+};
+
+/// Completion-queue entry: one per record (its last chunk) and one per sync.
+struct Completion {
+  std::uint64_t user_data = 0;
+  SubmitOp::Kind kind = SubmitOp::Kind::kChunk;
+  Status status;
+};
+
+class BatchSubmitQueue {
+ public:
+  struct Options {
+    /// Bound on submitted-but-not-applied ops; submit() blocks beyond it
+    /// (device back-pressure).  0 means unbounded.
+    std::size_t sq_depth = 256;
+    RetryPolicy retry;
+    /// Stream id for the device thread's retry-jitter RNG.
+    std::uint64_t seed = 0xba7c5b17;
+    /// Pool for staging buffers; nullptr = BufferPool::global().
+    BufferPool* staging = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t ops_submitted = 0;
+    std::uint64_t ops_applied = 0;
+    std::uint64_t records_written = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t staged_copies = 0;    ///< chunks memcpy'd into staging
+    std::uint64_t zero_copy_writes = 0; ///< single-chunk records, no staging
+  };
+
+  BatchSubmitQueue(std::shared_ptr<StorageBackend> backend, Options options);
+  BatchSubmitQueue(const BatchSubmitQueue&) = delete;
+  BatchSubmitQueue& operator=(const BatchSubmitQueue&) = delete;
+
+  /// Drains the SQ and joins the device thread.  Unreaped completions are
+  /// dropped.
+  ~BatchSubmitQueue();
+
+  /// Enqueues the whole batch contiguously, in order.  Blocks while the SQ
+  /// is over sq_depth.  Returns false (batch dropped) after close().
+  bool submit(std::vector<SubmitOp> batch);
+
+  /// Blocks until at least `min_n` completions are available (or the queue
+  /// is closed and fully drained), then returns everything pending.
+  std::vector<Completion> complete(std::size_t min_n = 1);
+
+  /// Non-blocking reap of whatever is pending.
+  std::vector<Completion> try_complete();
+
+  /// Stops accepting submissions; the device thread finishes what was
+  /// queued.  Idempotent.  Completions remain reapable after close.
+  void close();
+
+  /// Ops submitted but not yet applied by the device.
+  std::size_t inflight() const;
+
+  Stats stats() const;
+
+ private:
+  void run_device();
+  void apply(SubmitOp& op, Xoshiro256& rng);
+  void push_completion(Completion c);
+
+  std::shared_ptr<StorageBackend> backend_;
+  Options options_;
+  BufferPool* staging_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable sq_not_empty_;
+  std::condition_variable sq_not_full_;
+  std::condition_variable cq_not_empty_;
+  std::deque<SubmitOp> sq_;
+  std::deque<Completion> cq_;
+  bool closed_ = false;
+  bool drained_ = false;
+  std::size_t inflight_ = 0;
+  Stats stats_;
+
+  /// Device-thread-only staging state (no lock needed): partially
+  /// assembled records by key.
+  struct StagingEntry {
+    PooledBuffer buf;
+    std::size_t filled = 0;
+  };
+  std::unordered_map<std::string, StagingEntry> staging_by_key_;
+
+  std::thread device_;
+};
+
+}  // namespace lowdiff

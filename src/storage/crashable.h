@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file crashable.h
+/// Write-back crash model for exhaustive crash-boundary enumeration.
+///
+/// Real storage stacks buffer writes in a volatile cache; only a sync
+/// (fsync) makes them durable, and a crash discards whatever was still
+/// volatile.  CrashableStorage models exactly that state machine on top of
+/// any inner backend:
+///
+///   write(k, v)  -> lands in the volatile set (visible to reads)
+///   sync()       -> promotes every volatile object to the durable set
+///   remove(k)    -> volatile tombstone, applied to durable state on sync
+///   crash()      -> drops the volatile set; the backend goes dead
+///                   (every op returns kUnavailable) until reopen()
+///
+/// Every *applied* backend op (write / remove / sync) bumps a deterministic
+/// op counter, so "crash after op N" enumerates every submit/complete/sync
+/// boundary of a persist schedule — no sampling.  Tests run the schedule
+/// once to learn the total op count M, then replay it M+1 times with
+/// set_crash_after_ops(0..M) and recover from durable_snapshot() each time.
+///
+/// Thread-safety: one mutex over all state, same contract as MemStorage.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "storage/backend.h"
+
+namespace lowdiff {
+
+class CrashableStorage final : public StorageBackend {
+ public:
+  /// Inner backend holds the *durable* image.  Pass a fresh MemStorage in
+  /// tests; an already-populated backend models pre-existing durable state.
+  explicit CrashableStorage(std::shared_ptr<StorageBackend> durable);
+
+  // StorageBackend — reads see volatile-over-durable (the OS page cache
+  // view); after crash() everything is kUnavailable until reopen().
+  Status write(const std::string& key, std::span<const std::byte> bytes) override;
+  Result<std::vector<std::byte>> read(const std::string& key) const override;
+  bool exists(const std::string& key) const override;
+  void remove(const std::string& key) override;
+  Status sync() override;
+  std::vector<std::string> list() const override;
+  StorageStats stats() const override;
+
+  /// Arms the crash trigger: the backend crashes immediately *after*
+  /// applying its `n`-th op from now (0 = crash before the next op).
+  /// Counts only mutating ops (write/remove/sync) — the events that move
+  /// the volatile/durable state machine.
+  void set_crash_after_ops(std::uint64_t n);
+  void disarm();
+
+  /// Drops all volatile state and kills the backend now (manual trigger).
+  void crash();
+
+  /// True once a crash (armed or manual) has fired.
+  bool crashed() const;
+
+  /// Mutating ops applied since construction (or the last reset_op_count).
+  /// The crash matrix asserts this against the closed-form boundary count.
+  std::uint64_t applied_ops() const;
+  void reset_op_count();
+
+  /// The durable image a post-crash recovery would see: a fresh MemStorage
+  /// deep-copied from the inner backend's current (synced) contents.
+  std::shared_ptr<StorageBackend> durable_snapshot() const;
+
+  /// Clears the crashed flag so the same instance can serve a new schedule
+  /// (volatile state stays dropped, durable state persists — a reboot).
+  void reopen();
+
+ private:
+  // Applies one mutating op under the lock; returns false when the armed
+  // crash fired *instead of* the op (crash-before-op semantics for n=0
+  // relative arming) — callers then report kUnavailable.
+  bool admit_op_locked();
+  void crash_locked();
+
+  std::shared_ptr<StorageBackend> durable_;
+  mutable std::mutex mutex_;
+  bool dead_ = false;
+  std::uint64_t applied_ops_ = 0;
+  std::optional<std::uint64_t> crash_after_;  // ops remaining before crash
+  /// Volatile overlay: value = pending write; nullopt = pending remove.
+  std::map<std::string, std::optional<std::vector<std::byte>>> volatile_;
+  mutable StorageStats stats_;
+};
+
+}  // namespace lowdiff

@@ -1,0 +1,244 @@
+#include "storage/pipelined_writer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "storage/atomic_commit.h"
+
+namespace lowdiff {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+PipelinedWriter::Metrics PipelinedWriter::Metrics::resolve() {
+  auto& reg = obs::Registry::global();
+  return Metrics{reg.counter("persist.pipeline.records_total"),
+                 reg.counter("persist.pipeline.bytes_total"),
+                 reg.counter("persist.pipeline.syncs_total"),
+                 reg.counter("persist.pipeline.markers_total"),
+                 reg.counter("persist.pipeline.failed_total"),
+                 reg.counter("persist.pipeline.stall_us_total"),
+                 reg.gauge("persist.pipeline.inflight_depth"),
+                 reg.gauge("persist.pipeline.window"),
+                 reg.gauge("persist.pipeline.bytes_per_sec")};
+}
+
+PipelinedWriter::PipelinedWriter(std::shared_ptr<StorageBackend> backend,
+                                 Options options)
+    : backend_(std::move(backend)),
+      options_(options),
+      cadence_(options.spec.effective_cadence()),
+      metrics_(Metrics::resolve()),
+      origin_(std::chrono::steady_clock::now()) {
+  LOWDIFF_ENSURE(backend_ != nullptr, "null backend");
+  BatchSubmitQueue::Options qopt;
+  qopt.sq_depth = options_.spec.sq_depth;
+  qopt.retry = options_.retry;
+  qopt.seed = options_.seed;
+  qopt.staging = options_.staging;
+  queue_ = std::make_unique<BatchSubmitQueue>(backend_, qopt);
+  metrics_.window.set(static_cast<double>(options_.spec.effective_window()));
+}
+
+PipelinedWriter::~PipelinedWriter() {
+  const Status st = barrier();
+  if (!st.ok()) {
+    LOWDIFF_LOG_ERROR("pipelined writer drained with failure: ",
+                      st.to_string());
+  }
+  queue_->close();
+}
+
+void PipelinedWriter::put(std::string key, ByteBuffer bytes,
+                          std::function<void(const Status&)> on_result) {
+  // The CPU half of the overlap: the marker's CRC pass over the payload
+  // runs here, before touching the lock, while the device drains earlier
+  // records.
+  std::vector<std::byte> marker;
+  if (options_.committed) marker = make_commit_marker(bytes.cspan());
+
+  std::vector<SubmitOp> batch;
+  std::unique_lock lock(mutex_);
+  reap_locked(/*block=*/false);
+  const std::size_t window = options_.spec.effective_window();
+  if (pending_.size() >= window) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (pending_.size() >= window) {
+      // Force the partial group's sync out only when *every* pending
+      // record is still waiting in it — without that flush a window full
+      // of ungrouped records would wait forever.  When older records are
+      // already past the group stage their sync/marker completions are
+      // coming, and flushing here would fragment the current group into
+      // per-record syncs, serializing the exact cost the cadence batches.
+      if (unsynced_.size() == pending_.size()) flush_group_locked();
+      reap_locked(/*block=*/true);
+    }
+    const std::uint64_t stalled = elapsed_us(t0);
+    stats_.stall_us += stalled;
+    metrics_.stall_us_total.add(stalled);
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  Rec rec;
+  rec.key = key;
+  rec.size = bytes.size();
+  rec.marker = std::move(marker);
+  rec.on_result = std::move(on_result);
+  pending_.emplace(seq, std::move(rec));
+
+  SubmitOp::append_chunks(batch, key, bytes, options_.spec.chunk_bytes,
+                          (seq << 2) | kTagData);
+  ++stats_.records;
+  stats_.bytes += bytes.size();
+  bytes_since_origin_ += bytes.size();
+  metrics_.records_total.add(1);
+  metrics_.bytes_total.add(bytes.size());
+  metrics_.inflight_depth.set(static_cast<double>(pending_.size()));
+
+  if (options_.committed) {
+    unsynced_.push_back(seq);
+    const bool group_full = unsynced_.size() >= cadence_;
+    queue_->submit(std::move(batch));
+    if (group_full) flush_group_locked();
+  } else {
+    queue_->submit(std::move(batch));
+  }
+}
+
+Status PipelinedWriter::barrier() {
+  std::unique_lock lock(mutex_);
+  flush_group_locked();
+  while (!pending_.empty()) {
+    reap_locked(/*block=*/true);
+    // Sync completions can enqueue marker submissions; a partial group
+    // can only exist if puts raced in, which barrier's contract excludes,
+    // but flushing again is harmless and keeps the loop total.
+    flush_group_locked();
+  }
+  ++stats_.barriers;
+  stats_.retries = queue_->stats().retries;
+  const std::uint64_t us = elapsed_us(origin_);
+  if (us > 0 && bytes_since_origin_ > 0) {
+    metrics_.bytes_per_sec.set(static_cast<double>(bytes_since_origin_) /
+                               (static_cast<double>(us) * 1e-6));
+  }
+  metrics_.inflight_depth.set(0.0);
+  return std::exchange(first_error_, Status{});
+}
+
+PipelinedWriter::Stats PipelinedWriter::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s = stats_;
+  s.retries = queue_->stats().retries;
+  return s;
+}
+
+std::size_t PipelinedWriter::inflight_records() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+void PipelinedWriter::flush_group_locked() {
+  if (!options_.committed || unsynced_.empty()) return;
+  const std::uint64_t gid = next_group_++;
+  groups_.emplace(gid, std::move(unsynced_));
+  unsynced_.clear();
+  std::vector<SubmitOp> batch;
+  batch.push_back(SubmitOp::sync_op((gid << 2) | kTagSync));
+  queue_->submit(std::move(batch));
+  ++stats_.syncs;
+  metrics_.syncs_total.add(1);
+}
+
+void PipelinedWriter::reap_locked(bool block) {
+  const auto completions =
+      block ? queue_->complete(1) : queue_->try_complete();
+  for (const auto& c : completions) handle_completion_locked(c);
+  pop_finished_locked();
+  metrics_.inflight_depth.set(static_cast<double>(pending_.size()));
+}
+
+void PipelinedWriter::handle_completion_locked(const Completion& c) {
+  const std::uint64_t tag = c.user_data & 0x3;
+  const std::uint64_t seq = c.user_data >> 2;
+  if (tag == kTagData) {
+    const auto it = pending_.find(seq);
+    LOWDIFF_ENSURE(it != pending_.end(), "data completion for unknown record");
+    it->second.data_status = c.status;
+    it->second.data_done = true;
+    if (!options_.committed) finalize_locked(seq, c.status);
+    return;
+  }
+  if (tag == kTagSync) {
+    const auto git = groups_.find(seq);
+    LOWDIFF_ENSURE(git != groups_.end(), "sync completion for unknown group");
+    const std::vector<std::uint64_t> members = std::move(git->second);
+    groups_.erase(git);
+    // Data chunks precede the group's sync in queue order, so every
+    // member's data status is known here (invariant of FIFO completion).
+    std::vector<SubmitOp> markers;
+    for (const std::uint64_t m : members) {
+      const auto it = pending_.find(m);
+      LOWDIFF_ENSURE(it != pending_.end(), "group member missing");
+      Rec& rec = it->second;
+      LOWDIFF_ENSURE(rec.data_done, "sync completed before member data");
+      if (!rec.data_status.ok()) {
+        // I3: failed data ⇒ no marker, record stays invisible.
+        finalize_locked(m, rec.data_status);
+        continue;
+      }
+      if (!c.status.ok()) {
+        // I1/I3: sync failed ⇒ durability unknown ⇒ no marker for the
+        // whole group; each record reports the sync failure.
+        finalize_locked(m, c.status);
+        continue;
+      }
+      // I2: markers appended in member (== put) order within the group,
+      // and groups are processed in completion (== gid) order.
+      SubmitOp::append_chunks(markers, commit_marker_key(rec.key),
+                              ByteBuffer(std::move(rec.marker)),
+                              options_.spec.chunk_bytes, (m << 2) | kTagMarker);
+      ++stats_.markers;
+      metrics_.markers_total.add(1);
+    }
+    if (!markers.empty()) queue_->submit(std::move(markers));
+    return;
+  }
+  LOWDIFF_ENSURE(tag == kTagMarker, "unknown completion tag");
+  finalize_locked(seq, c.status);
+}
+
+void PipelinedWriter::finalize_locked(std::uint64_t seq, Status st) {
+  const auto it = pending_.find(seq);
+  LOWDIFF_ENSURE(it != pending_.end(), "finalize of unknown record");
+  it->second.final_status = std::move(st);
+  it->second.done = true;
+}
+
+void PipelinedWriter::pop_finished_locked() {
+  // Callbacks fire strictly in put() order: only a finished *prefix* pops.
+  while (!pending_.empty() && pending_.begin()->second.done) {
+    Rec rec = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    if (!rec.final_status.ok()) {
+      ++stats_.failed;
+      metrics_.failed_total.add(1);
+      if (first_error_.ok()) first_error_ = rec.final_status;
+      LOWDIFF_LOG_ERROR("pipelined persist of '", rec.key,
+                        "' failed: ", rec.final_status.to_string());
+    }
+    if (rec.on_result) rec.on_result(rec.final_status);
+  }
+}
+
+}  // namespace lowdiff

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file pipelined_writer.h
+/// FastPersist-style pipelined persist path over a BatchSubmitQueue.
+///
+/// The serial committed path per record is: frame+CRC → write → sync →
+/// marker, with the storage link idle during CPU work and the CPU idle
+/// during link work.  PipelinedWriter overlaps them:
+///
+///   put(i):   computes record i's commit marker (the CRC pass) on the
+///             *caller* thread while the device is still writing records
+///             < i, then stages record i's data chunks into the submission
+///             queue and returns — bounded by the in-flight window.
+///   group:    every `records_per_sync` records one sync op is submitted
+///             (fsync batching), and once that sync *completes*, the
+///             group's commit markers are submitted in commit order.
+///
+/// Invariants preserved from the serial protocol (DESIGN.md §10):
+///   I1  a record's marker is submitted only after the sync covering its
+///       data completed successfully — data durable before marker;
+///   I2  markers are submitted in put() order — commit order == key order;
+///   I3  a record whose data write or covering sync failed never gets a
+///       marker — it stays invisible (kNotFound), exactly like a failed
+///       committed_write;
+///   I4  bytes-on-disk are byte-identical to the serial path (same frames,
+///       same marker payloads, same keys).
+///
+/// Completion callbacks fire in submission order, on whichever thread is
+/// inside put()/barrier() reaping completions; they must not call back
+/// into this writer.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/buffer_pool.h"
+#include "common/retry.h"
+#include "obs/metrics.h"
+#include "storage/batch_submit.h"
+
+namespace lowdiff {
+
+/// Opt-in knob set, embedded in AsyncWriter::Options / ReplicatorOptions /
+/// strategy options so every persist client can flip the same flag.
+struct PipelineSpec {
+  /// Off by default: the serial write→sync→marker path stays the baseline.
+  bool enabled = false;
+  /// Max records accepted but not yet fully committed; put() blocks (and
+  /// counts stall time) when the window is full.  0 behaves as 1.
+  std::size_t window = 4;
+  /// Records covered by one batched sync; 0 means "= window".  Values
+  /// above the window are clamped to it — a group larger than the window
+  /// could never assemble without deadlocking the window wait.
+  std::size_t records_per_sync = 0;
+  /// Submission-queue chunk granularity for data records.
+  std::size_t chunk_bytes = std::size_t{256} * 1024;
+  /// Submission-queue depth handed to BatchSubmitQueue.
+  std::size_t sq_depth = 256;
+
+  std::size_t effective_window() const { return window == 0 ? 1 : window; }
+  std::size_t effective_cadence() const {
+    const std::size_t w = effective_window();
+    if (records_per_sync == 0) return w;
+    return records_per_sync < w ? records_per_sync : w;
+  }
+};
+
+class PipelinedWriter {
+ public:
+  struct Options {
+    PipelineSpec spec;
+    RetryPolicy retry;
+    /// true: full commit protocol (grouped syncs + ordered markers).
+    /// false: plain batched writes (Replicator lane mode) — no syncs, no
+    /// markers, a record completes with its data write status.
+    bool committed = true;
+    /// Stream id for the device retry RNG (decorrelates writers).
+    std::uint64_t seed = 0x9197e11e;
+    /// Staging pool; nullptr = BufferPool::global().
+    BufferPool* staging = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t markers = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t stall_us = 0;   ///< put() time blocked on a full window
+    std::uint64_t barriers = 0;
+  };
+
+  PipelinedWriter(std::shared_ptr<StorageBackend> backend, Options options);
+
+  PipelinedWriter(const PipelinedWriter&) = delete;
+  PipelinedWriter& operator=(const PipelinedWriter&) = delete;
+
+  /// Drains via barrier(), then shuts the device down.
+  ~PipelinedWriter();
+
+  /// Stages the commit of (key, bytes).  Marker bytes (including the
+  /// payload CRC) are computed here, on the calling thread, overlapping
+  /// whatever the device is writing.  Blocks while the in-flight window is
+  /// full.  `on_result` fires exactly once with the record's final commit
+  /// status, in put() order.
+  void put(std::string key, ByteBuffer bytes,
+           std::function<void(const Status&)> on_result = {});
+
+  /// Forces a sync over any partial group, submits its markers, and waits
+  /// until every record put() so far is finalized.  Returns the first
+  /// non-ok record status since the previous barrier (records' individual
+  /// statuses still reach their callbacks).  Markers themselves are left
+  /// unsynced, matching the serial path — callers needing marker
+  /// durability follow with backend->sync(), as strategy flush() does.
+  Status barrier();
+
+  Stats stats() const;
+  std::size_t inflight_records() const;
+  const PipelineSpec& spec() const { return options_.spec; }
+
+ private:
+  // user_data encoding: (seq << 2) | tag.
+  enum : std::uint64_t { kTagData = 0, kTagMarker = 1, kTagSync = 2 };
+
+  struct Rec {
+    std::string key;
+    std::size_t size = 0;
+    std::vector<std::byte> marker;  // committed mode only
+    std::function<void(const Status&)> on_result;
+    Status data_status;
+    bool data_done = false;
+    bool done = false;
+    Status final_status;
+  };
+
+  struct Metrics {
+    obs::Counter& records_total;
+    obs::Counter& bytes_total;
+    obs::Counter& syncs_total;
+    obs::Counter& markers_total;
+    obs::Counter& failed_total;
+    obs::Counter& stall_us_total;
+    obs::Gauge& inflight_depth;
+    obs::Gauge& window;
+    obs::Gauge& bytes_per_sec;
+    static Metrics resolve();
+  };
+
+  void reap_locked(bool block);
+  void handle_completion_locked(const Completion& c);
+  void flush_group_locked();
+  void finalize_locked(std::uint64_t seq, Status st);
+  void pop_finished_locked();
+
+  std::shared_ptr<StorageBackend> backend_;
+  Options options_;
+  std::size_t cadence_;
+  Metrics metrics_;
+  std::unique_ptr<BatchSubmitQueue> queue_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_group_ = 0;
+  std::map<std::uint64_t, Rec> pending_;            // seq → record, ordered
+  std::vector<std::uint64_t> unsynced_;             // current group members
+  std::map<std::uint64_t, std::vector<std::uint64_t>> groups_;  // gid → seqs
+  Status first_error_;  // since last barrier
+  Stats stats_;
+  std::chrono::steady_clock::time_point origin_;
+  std::uint64_t bytes_since_origin_ = 0;
+};
+
+}  // namespace lowdiff

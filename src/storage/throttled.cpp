@@ -36,4 +36,9 @@ std::vector<std::string> ThrottledStorage::list() const { return inner_->list();
 
 StorageStats ThrottledStorage::stats() const { return inner_->stats(); }
 
+Status ThrottledStorage::sync() {
+  throttler_->acquire_seconds(throttler_->link().sync_latency_sec);
+  return inner_->sync();
+}
+
 }  // namespace lowdiff

@@ -24,7 +24,9 @@ class ThrottledStorage final : public StorageBackend {
   void remove(const std::string& key) override;
   std::vector<std::string> list() const override;
   StorageStats stats() const override;
-  Status sync() override { return inner_->sync(); }
+  /// Charges the link's sync_latency_sec (FIFO with transfers) before
+  /// forwarding — the per-barrier cost the pipelined persist path batches.
+  Status sync() override;
 
   /// Modeled seconds the storage link has been busy (steady-state
   /// checkpointing overhead measurements read this).

@@ -171,6 +171,9 @@ struct Replicator::Lane {
     // Distinct stream per lane: decorrelated jitter, still a pure function
     // of (replica_retry.seed, seed, lane_index).
     w.seed = opt.seed + lane_index;
+    // Lane writers run in plain (non-committed) mode, so an enabled
+    // pipeline batches their writes without introducing syncs or markers.
+    w.pipeline = opt.pipeline;
     return std::make_unique<AsyncWriter>(std::move(backend), w);
   }
 

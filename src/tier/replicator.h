@@ -94,6 +94,12 @@ struct ReplicatorOptions {
   /// Shared breaker state.  Null (default) disables health gating entirely
   /// — the pre-§9 behavior.
   std::shared_ptr<TierHealthMonitor> health;
+  /// Opt-in pipelined persist path for every replica lane's writer: lane
+  /// jobs are batch-submitted with a bounded in-flight window instead of
+  /// one blocking write per job.  Lanes write plain (non-committed)
+  /// records, so this only changes the schedule, never the bytes, and
+  /// per-lane FIFO order is preserved.
+  PipelineSpec pipeline;
 };
 
 class Replicator final : public StorageBackend {

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file kill_points.h
+/// Shared kill/crash-point machinery for the fault-tolerance harnesses.
+///
+/// Two suites consume this: the PR 1 crash harness in
+/// test_fault_tolerance.cpp (randomized iteration-level kills sampled from
+/// the Poisson failure process) and the persist-pipeline crash matrix in
+/// test_persist_pipeline.cpp (exhaustive backend-op-level boundaries).
+/// Both take a KillPointEnumerator, so the kill logic lives once, here,
+/// and a harness is "exhaustive" or "sampled" purely by the enumerator
+/// injected into it.
+///
+/// Also hosts the `ctest -L seeds` plumbing: env_seed_offset() reads
+/// LOWDIFF_TEST_SEED so the seed-sweep runner can rerun every randomized
+/// suite over 50 deterministic universes without code changes.
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/failure.h"
+
+namespace lowdiff::test_support {
+
+/// Offset mixed into a randomized suite's base seeds.  Unset (the normal
+/// `ctest -L tier1` run) means 0 — the historical seeds, unchanged.
+inline std::uint64_t env_seed_offset() {
+  const char* s = std::getenv("LOWDIFF_TEST_SEED");
+  if (s == nullptr || *s == '\0') return 0;
+  return std::strtoull(s, nullptr, 10);
+}
+
+/// SplitMix-style mix for deriving per-case seeds from (base, offset) so
+/// sweep universes decorrelate instead of just shifting.
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t offset) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (offset + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// The seed a randomized suite should actually use for a historical base
+/// seed: the base itself in a normal run (sweep offset 0 — bit-for-bit the
+/// pre-sweep behavior), a decorrelated mix under `ctest -L seeds`.
+inline std::uint64_t sweep_seed(std::uint64_t base) {
+  const std::uint64_t offset = env_seed_offset();
+  return offset == 0 ? base : mix_seed(base, offset);
+}
+
+/// A source of kill points: each call yields the next point (an iteration
+/// index for the training harness, a backend-op ordinal for the pipeline
+/// crash matrix), or nullopt when the schedule is exhausted.
+using KillPointEnumerator = std::function<std::optional<std::uint64_t>()>;
+
+/// Randomized enumerator — the PR 1 harness behavior, parameterized:
+/// `count` points in [1, max_exclusive) drawn from sim::FailureModel's
+/// Poisson process.
+inline KillPointEnumerator poisson_kill_points(double mtbf_sec,
+                                               std::uint64_t seed, int count,
+                                               std::uint64_t max_exclusive) {
+  auto model = std::make_shared<sim::FailureModel>(mtbf_sec, seed);
+  auto remaining = std::make_shared<int>(count);
+  return [model, remaining, max_exclusive]() -> std::optional<std::uint64_t> {
+    if (*remaining <= 0) return std::nullopt;
+    --*remaining;
+    return 1 + static_cast<std::uint64_t>(model->next().time) %
+                   (max_exclusive - 1);
+  };
+}
+
+/// Exhaustive enumerator: every boundary 0..last inclusive, in order.  The
+/// pipeline crash matrix uses this so no submit/complete/sync boundary is
+/// sampled away.
+inline KillPointEnumerator exhaustive_kill_points(std::uint64_t last) {
+  auto next = std::make_shared<std::uint64_t>(0);
+  return [next, last]() -> std::optional<std::uint64_t> {
+    if (*next > last) return std::nullopt;
+    return (*next)++;
+  };
+}
+
+/// Drains an enumerator into a vector (harnesses that want the full list
+/// up front, e.g. to assert its cardinality).
+inline std::vector<std::uint64_t> drain(const KillPointEnumerator& e) {
+  std::vector<std::uint64_t> out;
+  while (auto k = e()) out.push_back(*k);
+  return out;
+}
+
+}  // namespace lowdiff::test_support

@@ -1,7 +1,8 @@
 // Property-style tests for the compression layer: randomized shapes and
 // seeds, invariants instead of golden values.  Deterministic — every
 // "random" choice flows from the fixed kSeeds below, so a failure
-// reproduces exactly.
+// reproduces exactly.  Under `ctest -L seeds` the bases are decorrelated
+// per LOWDIFF_TEST_SEED universe (tests/support/kill_points.h).
 
 #include <gtest/gtest.h>
 
@@ -15,13 +16,16 @@
 #include "compress/quant8.h"
 #include "compress/randomk.h"
 #include "compress/topk.h"
+#include "support/kill_points.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace lowdiff {
 namespace {
 
-constexpr std::uint64_t kSeeds[] = {11, 222, 3333};
+const std::uint64_t kSeeds[] = {test_support::sweep_seed(11),
+                                test_support::sweep_seed(222),
+                                test_support::sweep_seed(3333)};
 
 // Shape ladder: tiny edge cases through odd non-power-of-two sizes up to a
 // couple of quant blocks.

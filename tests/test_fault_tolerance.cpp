@@ -11,17 +11,29 @@
 #include "sim/failure.h"
 #include "storage/fault_injection.h"
 #include "storage/mem_storage.h"
+#include "support/kill_points.h"
 
 namespace lowdiff {
 namespace {
 
-/// Crash harness: kill training at randomized points (sampled from
-/// sim::FailureModel, the paper's Poisson failure process), restart a fresh
-/// "process", recover from the checkpoint store, resume — and require the
-/// final state to be bit-exact against an uninterrupted run.  Then the same
+using test_support::KillPointEnumerator;
+using test_support::poisson_kill_points;
+using test_support::sweep_seed;
+
+/// Crash harness: kill training at the points yielded by an injected
+/// KillPointEnumerator, restart a fresh "process", recover from the
+/// checkpoint store, resume — and require the final state to be bit-exact
+/// against an uninterrupted run.  The enumerator is the only thing that
+/// differs between this suite (Poisson-sampled iteration kills, the paper's
+/// failure process) and the persist-pipeline crash matrix (exhaustive
+/// backend-op boundaries in test_persist_pipeline.cpp) — the kill logic
+/// itself lives once, in tests/support/kill_points.h.  Then the same
 /// end-to-end loop under injected silent bit flips: every corrupt record
 /// recovery encounters must be detected by CRC and degraded around, never
 /// thrown on and never silently consumed.
+///
+/// All base seeds route through sweep_seed(), so `ctest -L seeds` reruns
+/// the whole file over decorrelated universes via LOWDIFF_TEST_SEED.
 
 constexpr std::uint64_t kTotalIters = 40;
 constexpr double kRho = 0.05;
@@ -43,7 +55,7 @@ TrainerConfig harness_cfg(OptimizerKind kind) {
   cfg.adam.lr = 4e-3f;
   cfg.sgd.lr = 1e-2f;
   cfg.sgd.momentum = 0.9f;
-  cfg.seed = 123;
+  cfg.seed = sweep_seed(123);
   return cfg;
 }
 
@@ -54,25 +66,20 @@ LowDiffStrategy::Options strategy_opt() {
   return opt;
 }
 
-class CrashHarness : public ::testing::TestWithParam<OptimizerKind> {};
-
-TEST_P(CrashHarness, RandomizedKillPointsRecoverBitExact) {
-  const TrainerConfig cfg = harness_cfg(GetParam());
-
+/// The harness body, kill schedule injected.  `recoveries_out` counts the
+/// kills that landed after a durable full checkpoint (i.e. actually
+/// exercised recovery rather than a from-scratch restart).
+void run_crash_harness(const TrainerConfig& cfg,
+                       const KillPointEnumerator& kill_points,
+                       int* recoveries_out) {
   // Uninterrupted reference run.
   Trainer reference(mlp(), cfg);
   reference.run(0, kTotalIters, nullptr);
 
-  // Kill points drawn from the simulator's failure process.
-  sim::FailureModel failures(
-      /*mtbf_sec=*/15.0,
-      /*seed=*/GetParam() == OptimizerKind::kAdam ? 101 : 202);
-
-  int recoveries = 0;
-  const int kKillPoints = 20;
-  for (int k = 0; k < kKillPoints; ++k) {
-    const std::uint64_t kill =
-        1 + static_cast<std::uint64_t>(failures.next().time) % (kTotalIters - 1);
+  int& recoveries = *recoveries_out;
+  recoveries = 0;
+  while (const auto kill_point = kill_points()) {
+    const std::uint64_t kill = *kill_point;
 
     auto store = std::make_shared<CheckpointStore>(std::make_shared<MemStorage>());
     Trainer crashed(mlp(), cfg);
@@ -101,6 +108,21 @@ TEST_P(CrashHarness, RandomizedKillPointsRecoverBitExact) {
     ASSERT_TRUE(resumed.state(0).bit_equal(reference.state(0)))
         << "kill point " << kill << " broke bit-exactness";
   }
+}
+
+class CrashHarness : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(CrashHarness, RandomizedKillPointsRecoverBitExact) {
+  const TrainerConfig cfg = harness_cfg(GetParam());
+  // Kill points drawn from the simulator's failure process, decorrelated
+  // per sweep universe.
+  const int kKillPoints = 20;
+  const std::uint64_t seed =
+      sweep_seed(GetParam() == OptimizerKind::kAdam ? 101 : 202);
+  int recoveries = 0;
+  run_crash_harness(
+      cfg, poisson_kill_points(/*mtbf_sec=*/15.0, seed, kKillPoints, kTotalIters),
+      &recoveries);
   // The sampled kill points must actually exercise recovery, not just
   // from-scratch restarts.
   EXPECT_GE(recoveries, kKillPoints / 2);
@@ -159,50 +181,66 @@ TEST(FaultTolerance, CorruptDiffTruncatesReplayAndIsCounted) {
 }
 
 TEST(FaultTolerance, InjectedBitFlipsAllDetectedAndDegraded) {
-  FaultSpec spec;
-  spec.bit_flip_rate = 0.15;
-  spec.seed = 31;
-  auto mem = std::make_shared<MemStorage>();
-  auto faulty = std::make_shared<FaultInjectingStorage>(mem, spec);
-  auto store = std::make_shared<CheckpointStore>(faulty);
   const TrainerConfig cfg = harness_cfg(OptimizerKind::kAdam);
-
   set_log_level(LogLevel::kOff);  // recovery legitimately logs each corrupt record
-  Trainer trainer(mlp(), cfg);
-  LowDiffStrategy::Options opt;
-  opt.batch_size = 2;
-  opt.full_interval = 8;
-  {
-    auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
-    trainer.run(0, 30, strategy.get());
-    strategy->flush();
-  }
-  ASSERT_GT(faulty->fault_stats().bit_flips, 0u)
-      << "seed produced no corruption; the test would be vacuous";
-  faulty->set_armed(false);  // the storage medium is quiet during recovery
 
-  // Ground truth from the manifest: which records does a scan actually find
-  // corrupt?  Recovery must report exactly these — no more, no fewer.
-  std::uint64_t expected_bad_fulls = 0;
+  // A fault seed can be vacuous two ways: no flip ever fires, or a flip
+  // kills *every* full checkpoint so there is nothing to degrade to.  Under
+  // the seed sweep either can happen for some universes, so re-roll the
+  // fault seed (bounded, deterministic) until the run is assertable.
+  auto mem = std::make_shared<MemStorage>();
+  std::shared_ptr<FaultInjectingStorage> faulty;
+  std::shared_ptr<CheckpointStore> store;
+  std::optional<Trainer> trainer;
   std::optional<std::uint64_t> base;
-  const auto fulls = store->fulls();
-  for (auto it = fulls.rbegin(); it != fulls.rend(); ++it) {
-    if (store->try_read_full(*it, trainer.spec()).ok()) {
-      base = *it;
-      break;
+  std::uint64_t expected_bad_fulls = 0;
+  constexpr int kMaxRolls = 8;
+  for (int roll = 0; roll < kMaxRolls && !base.has_value(); ++roll) {
+    FaultSpec spec;
+    spec.bit_flip_rate = 0.15;
+    // roll 0 in a normal run is the historical seed 31, unchanged.
+    spec.seed = roll == 0 ? sweep_seed(31)
+                          : test_support::mix_seed(sweep_seed(31), 7000 + roll);
+    mem = std::make_shared<MemStorage>();
+    faulty = std::make_shared<FaultInjectingStorage>(mem, spec);
+    store = std::make_shared<CheckpointStore>(faulty);
+    trainer.emplace(mlp(), cfg);
+    LowDiffStrategy::Options opt;
+    opt.batch_size = 2;
+    opt.full_interval = 8;
+    {
+      auto strategy = std::make_unique<LowDiffStrategy>(store, opt);
+      trainer->run(0, 30, strategy.get());
+      strategy->flush();
     }
-    ++expected_bad_fulls;
+    if (faulty->fault_stats().bit_flips == 0) continue;  // vacuous: no damage
+    faulty->set_armed(false);  // the storage medium is quiet during recovery
+
+    // Ground truth from the manifest: the newest full a scan finds intact.
+    expected_bad_fulls = 0;
+    const auto fulls = store->fulls();
+    for (auto it = fulls.rbegin(); it != fulls.rend(); ++it) {
+      if (store->try_read_full(*it, trainer->spec()).ok()) {
+        base = *it;
+        break;
+      }
+      ++expected_bad_fulls;
+    }  // base unset: every full corrupt — also vacuous, re-roll
   }
-  ASSERT_TRUE(base.has_value()) << "every full corrupt; pick another seed";
+  ASSERT_TRUE(base.has_value())
+      << kMaxRolls << " fault seeds in a row produced no assertable universe";
+
+  // Recovery must report exactly the corrupt records a manifest scan finds
+  // — no more, no fewer.
   std::uint64_t expected_bad_diffs = 0;
   for (std::uint64_t iter : store->diffs_after(*base)) {
     if (!store->try_read_diff(iter).ok()) ++expected_bad_diffs;
   }
 
-  RecoveryEngine engine(trainer.spec(), trainer.make_optimizer(),
+  RecoveryEngine engine(trainer->spec(), trainer->make_optimizer(),
                         TopKCompressor(kRho).clone());
   RecoveryReport report;
-  ModelState recovered(trainer.spec());
+  ModelState recovered(trainer->spec());
   // The headline requirement: corruption degrades, it does not throw.
   ASSERT_NO_THROW(recovered = engine.recover_serial(*store, &report));
 

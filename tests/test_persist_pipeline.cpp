@@ -1,0 +1,851 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "compress/dense.h"
+#include "compress/topk.h"
+#include "core/checkpoint_store.h"
+#include "core/recovery.h"
+#include "core/strategies.h"
+#include "optim/adam.h"
+#include "storage/atomic_commit.h"
+#include "storage/batch_submit.h"
+#include "storage/crashable.h"
+#include "storage/deadline.h"
+#include "storage/fault_injection.h"
+#include "storage/mem_storage.h"
+#include "storage/pipelined_writer.h"
+#include "storage/stacking.h"
+#include "storage/throttled.h"
+#include "support/kill_points.h"
+#include "tensor/ops.h"
+
+namespace lowdiff {
+namespace {
+
+using test_support::drain;
+using test_support::exhaustive_kill_points;
+
+RetryPolicy fast_retry(int attempts = 4) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.base_delay_sec = 1e-6;
+  p.max_delay_sec = 1e-5;
+  return p;
+}
+
+std::vector<std::byte> pattern_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<std::byte>(rng() & 0xff);
+  return out;
+}
+
+/// Full backend image, key → bytes.  The differential suite's equality
+/// relation: two persist paths are equivalent iff their dumps match.
+std::map<std::string, std::vector<std::byte>> dump(const StorageBackend& b) {
+  std::map<std::string, std::vector<std::byte>> out;
+  for (const auto& key : b.list()) out.emplace(key, *b.read(key));
+  return out;
+}
+
+std::size_t marker_count(const StorageBackend& b) {
+  std::size_t n = 0;
+  for (const auto& key : b.list()) n += is_commit_marker(key) ? 1 : 0;
+  return n;
+}
+
+std::size_t marker_count_of(
+    const std::map<std::string, std::vector<std::byte>>& d) {
+  std::size_t n = 0;
+  for (const auto& [key, bytes] : d) n += is_commit_marker(key) ? 1 : 0;
+  return n;
+}
+
+ModelSpec spec_of(std::size_t n) {
+  ModelSpec spec;
+  spec.name = "flat";
+  spec.layers = {{"w0", {n / 2}}, {"w1", {n - n / 2}}};
+  return spec;
+}
+
+// ===========================================================================
+// CrashableStorage: the write-back crash model the matrix is built on.
+// ===========================================================================
+
+TEST(CrashableStorage, WritesAreVolatileUntilSync) {
+  auto crashable =
+      std::make_shared<CrashableStorage>(std::make_shared<MemStorage>());
+  ASSERT_TRUE(crashable->write("a", pattern_bytes(16, 1)).ok());
+  // Visible through the cache view...
+  EXPECT_TRUE(crashable->exists("a"));
+  EXPECT_EQ(*crashable->read("a"), pattern_bytes(16, 1));
+  // ...but not durable yet.
+  EXPECT_FALSE(crashable->durable_snapshot()->exists("a"));
+
+  ASSERT_TRUE(crashable->sync().ok());
+  EXPECT_EQ(*crashable->durable_snapshot()->read("a"), pattern_bytes(16, 1));
+}
+
+TEST(CrashableStorage, CrashDropsVolatileStateAndKillsTheBackend) {
+  auto crashable =
+      std::make_shared<CrashableStorage>(std::make_shared<MemStorage>());
+  ASSERT_TRUE(crashable->write("durable", pattern_bytes(8, 2)).ok());
+  ASSERT_TRUE(crashable->sync().ok());
+  ASSERT_TRUE(crashable->write("volatile", pattern_bytes(8, 3)).ok());
+
+  crashable->crash();
+  EXPECT_TRUE(crashable->crashed());
+  EXPECT_EQ(crashable->write("x", pattern_bytes(1, 4)).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_FALSE(crashable->sync().ok());
+  EXPECT_FALSE(crashable->read("durable").ok());  // dead until reopen
+
+  const auto snap = crashable->durable_snapshot();
+  EXPECT_TRUE(snap->exists("durable"));
+  EXPECT_FALSE(snap->exists("volatile"));
+
+  crashable->reopen();
+  EXPECT_FALSE(crashable->crashed());
+  EXPECT_EQ(*crashable->read("durable"), pattern_bytes(8, 2));
+  EXPECT_FALSE(crashable->exists("volatile"));  // reboot lost the cache
+}
+
+TEST(CrashableStorage, ArmedCrashFiresAfterExactlyNOps) {
+  auto crashable =
+      std::make_shared<CrashableStorage>(std::make_shared<MemStorage>());
+  crashable->set_crash_after_ops(2);
+  EXPECT_TRUE(crashable->write("one", pattern_bytes(4, 5)).ok());  // op 1
+  EXPECT_TRUE(crashable->sync().ok());                             // op 2 → crash
+  EXPECT_TRUE(crashable->crashed());
+  EXPECT_EQ(crashable->write("three", pattern_bytes(4, 6)).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(crashable->applied_ops(), 2u);
+  EXPECT_TRUE(crashable->durable_snapshot()->exists("one"));
+
+  // Arming with 0 crashes *before* the next op.
+  auto immediate =
+      std::make_shared<CrashableStorage>(std::make_shared<MemStorage>());
+  immediate->set_crash_after_ops(0);
+  EXPECT_EQ(immediate->write("k", pattern_bytes(4, 7)).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(immediate->applied_ops(), 0u);
+}
+
+// ===========================================================================
+// BatchSubmitQueue: SQ/CQ device semantics.
+// ===========================================================================
+
+TEST(BatchSubmit, ChunkedRecordAssemblesBitExact) {
+  auto mem = std::make_shared<MemStorage>();
+  BatchSubmitQueue::Options opt;
+  opt.retry = fast_retry();
+  BatchSubmitQueue queue(mem, opt);
+
+  const auto record = pattern_bytes(1000, 11);
+  std::vector<SubmitOp> batch;
+  SubmitOp::append_chunks(batch, "rec/0", ByteBuffer(record),
+                          /*chunk_bytes=*/256, /*user_data=*/42);
+  ASSERT_EQ(batch.size(), 4u);  // 256+256+256+232
+  EXPECT_TRUE(batch.back().last);
+  ASSERT_TRUE(queue.submit(std::move(batch)));
+
+  const auto completions = queue.complete(1);
+  ASSERT_EQ(completions.size(), 1u);  // one completion per record, not chunk
+  EXPECT_EQ(completions[0].user_data, 42u);
+  EXPECT_TRUE(completions[0].status.ok());
+  EXPECT_EQ(*mem->read("rec/0"), record);
+  EXPECT_GE(queue.stats().staged_copies, 4u);
+  EXPECT_EQ(queue.stats().zero_copy_writes, 0u);
+}
+
+TEST(BatchSubmit, SingleChunkRecordsSkipStaging) {
+  auto mem = std::make_shared<MemStorage>();
+  BatchSubmitQueue::Options opt;
+  opt.retry = fast_retry();
+  BatchSubmitQueue queue(mem, opt);
+
+  const auto record = pattern_bytes(100, 12);
+  std::vector<SubmitOp> batch;
+  SubmitOp::append_chunks(batch, "rec/zc", ByteBuffer(record), 4096, 7);
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_TRUE(queue.submit(std::move(batch)));
+  queue.complete(1);
+  EXPECT_EQ(*mem->read("rec/zc"), record);
+  EXPECT_EQ(queue.stats().zero_copy_writes, 1u);
+  EXPECT_EQ(queue.stats().staged_copies, 0u);
+}
+
+TEST(BatchSubmit, CompletionsArriveInApplicationOrderAndSyncIsABarrier) {
+  auto crashable =
+      std::make_shared<CrashableStorage>(std::make_shared<MemStorage>());
+  BatchSubmitQueue::Options opt;
+  opt.retry = fast_retry();
+  BatchSubmitQueue queue(crashable, opt);
+
+  const auto r1 = pattern_bytes(600, 13);
+  const auto r2 = pattern_bytes(600, 14);
+  std::vector<SubmitOp> batch;
+  SubmitOp::append_chunks(batch, "k1", ByteBuffer(r1), 256, 1);
+  batch.push_back(SubmitOp::sync_op(2));
+  SubmitOp::append_chunks(batch, "k2", ByteBuffer(r2), 256, 3);
+  ASSERT_TRUE(queue.submit(std::move(batch)));
+
+  std::vector<Completion> all;
+  while (all.size() < 3) {
+    for (auto& c : queue.complete(1)) all.push_back(std::move(c));
+  }
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].user_data, 1u);
+  EXPECT_EQ(all[1].user_data, 2u);  // sync completes after k1, before k2
+  EXPECT_EQ(all[2].user_data, 3u);
+  for (const auto& c : all) EXPECT_TRUE(c.status.ok());
+
+  // The sync barrier promoted exactly the ops before it: k1 is durable,
+  // k2 (applied after the sync) is still volatile.
+  const auto snap = crashable->durable_snapshot();
+  EXPECT_EQ(*snap->read("k1"), r1);
+  EXPECT_FALSE(snap->exists("k2"));
+}
+
+TEST(BatchSubmit, BackPressureBoundsTheQueueWithoutLosingOps) {
+  auto mem = std::make_shared<MemStorage>();
+  BatchSubmitQueue::Options opt;
+  opt.sq_depth = 4;  // far smaller than the op count
+  opt.retry = fast_retry();
+  BatchSubmitQueue queue(mem, opt);
+
+  constexpr int kRecords = 64;
+  for (int i = 0; i < kRecords; ++i) {
+    std::vector<SubmitOp> batch;
+    SubmitOp::append_chunks(batch, "rec/" + std::to_string(i),
+                            ByteBuffer(pattern_bytes(300, 20 + i)), 128,
+                            static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(queue.submit(std::move(batch)));
+  }
+  std::size_t reaped = 0;
+  while (reaped < kRecords) reaped += queue.complete(1).size();
+  EXPECT_EQ(mem->list().size(), static_cast<std::size_t>(kRecords));
+  EXPECT_EQ(queue.stats().records_written, static_cast<std::uint64_t>(kRecords));
+}
+
+TEST(BatchSubmit, SubmitAfterCloseIsRejected) {
+  BatchSubmitQueue queue(std::make_shared<MemStorage>(), {});
+  queue.close();
+  std::vector<SubmitOp> batch;
+  SubmitOp::append_chunks(batch, "k", ByteBuffer(pattern_bytes(8, 1)), 8, 0);
+  EXPECT_FALSE(queue.submit(std::move(batch)));
+}
+
+// ===========================================================================
+// PipelinedWriter differential suite: pipelined ≡ serial, bytes-on-disk,
+// across window depths × chunk sizes (tentpole requirement (a), writer half).
+// ===========================================================================
+
+std::vector<std::pair<std::string, std::vector<std::byte>>> mixed_records() {
+  // Sizes straddle every chunking edge: empty, sub-chunk, exact multiples,
+  // off-by-one, and a record much larger than any chunk size used below.
+  const std::size_t sizes[] = {0, 1, 7, 256, 300, 4096, 4097, 65536};
+  std::vector<std::pair<std::string, std::vector<std::byte>>> records;
+  std::uint64_t seed = 100;
+  for (const std::size_t n : sizes) {
+    records.emplace_back("rec/" + std::to_string(records.size()),
+                         pattern_bytes(n, seed++));
+  }
+  return records;
+}
+
+TEST(PipelinedDifferential, CommittedBytesIdenticalAcrossWindowsAndChunks) {
+  const auto records = mixed_records();
+
+  // Serial reference: the existing committed_write protocol per record.
+  auto serial_mem = std::make_shared<MemStorage>();
+  Xoshiro256 rng = fast_retry().make_rng(1);
+  for (const auto& [key, bytes] : records) {
+    ASSERT_TRUE(
+        committed_write(*serial_mem, key, bytes, fast_retry(), rng).ok());
+  }
+  const auto reference = dump(*serial_mem);
+  ASSERT_EQ(reference.size(), 2 * records.size());  // data + marker each
+
+  for (const std::size_t window : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t chunk : {std::size_t{7}, std::size_t{300},
+                                    std::size_t{256} * 1024}) {
+      auto mem = std::make_shared<MemStorage>();
+      PipelinedWriter::Options opt;
+      opt.spec.enabled = true;
+      opt.spec.window = window;
+      opt.spec.chunk_bytes = chunk;
+      opt.retry = fast_retry();
+      PipelinedWriter writer(mem, opt);
+      std::vector<Status> results;
+      for (const auto& [key, bytes] : records) {
+        writer.put(key, ByteBuffer(bytes),
+                   [&results](const Status& st) { results.push_back(st); });
+      }
+      EXPECT_TRUE(writer.barrier().ok());
+      ASSERT_EQ(results.size(), records.size());
+      for (const auto& st : results) EXPECT_TRUE(st.ok());
+      // I4: bit-identical artifacts, marker payloads included.
+      EXPECT_EQ(dump(*mem), reference)
+          << "window=" << window << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(PipelinedDifferential, PlainModeMatchesSerialWrites) {
+  const auto records = mixed_records();
+  auto serial_mem = std::make_shared<MemStorage>();
+  for (const auto& [key, bytes] : records) {
+    ASSERT_TRUE(serial_mem->write(key, bytes).ok());
+  }
+
+  auto mem = std::make_shared<MemStorage>();
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 3;
+  opt.spec.chunk_bytes = 512;
+  opt.retry = fast_retry();
+  opt.committed = false;  // Replicator lane mode: no syncs, no markers
+  PipelinedWriter writer(mem, opt);
+  for (const auto& [key, bytes] : records) writer.put(key, ByteBuffer(bytes));
+  EXPECT_TRUE(writer.barrier().ok());
+
+  EXPECT_EQ(dump(*mem), dump(*serial_mem));
+  EXPECT_EQ(marker_count(*mem), 0u);
+  EXPECT_EQ(writer.stats().syncs, 0u);
+}
+
+TEST(PipelinedDifferential, CallbacksFireInPutOrder) {
+  auto mem = std::make_shared<MemStorage>();
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 4;
+  opt.spec.records_per_sync = 2;
+  opt.retry = fast_retry();
+  PipelinedWriter writer(mem, opt);
+
+  std::vector<int> order;
+  for (int i = 0; i < 9; ++i) {
+    writer.put("rec/" + std::to_string(i), ByteBuffer(pattern_bytes(128, 200 + i)),
+               [&order, i](const Status& st) {
+                 ASSERT_TRUE(st.ok());
+                 order.push_back(i);
+               });
+  }
+  EXPECT_TRUE(writer.barrier().ok());
+  ASSERT_EQ(order.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  const auto stats = writer.stats();
+  EXPECT_EQ(stats.records, 9u);
+  EXPECT_EQ(stats.markers, 9u);
+  EXPECT_EQ(stats.syncs, 5u);  // ceil(9/2): 4 full groups + barrier partial
+}
+
+// ===========================================================================
+// Exhaustive crash-point matrix (tentpole requirement (b)).
+//
+// A real LowDiff manifest (fulls + differentials) is replayed through the
+// PipelinedWriter onto CrashableStorage.  A dry run counts the backend ops
+// M and asserts it against the closed form; then *every* boundary
+// k ∈ [0, M] is enumerated — crash after exactly k ops — and for each one
+// the durable image must satisfy:
+//   * committed records form a put-order prefix of the schedule (I2),
+//   * every durable marker covers present, CRC-valid data (I1),
+//   * recovery is bit-exact at the prefix's last iteration, or degrades
+//     cleanly to "no checkpoint" when no full has committed yet (I3).
+// ===========================================================================
+
+struct CrashMatrix {
+  ModelSpec spec = spec_of(64);
+  TopKCompressor comp{0.3};
+  /// (key, framed bytes, iteration) in manifest (put) order.
+  struct Record {
+    std::string key;
+    std::vector<std::byte> bytes;
+    std::uint64_t iter = 0;
+  };
+  std::vector<Record> records;
+  std::vector<ModelState> refs;  // refs[t] = training state after step t
+
+  CrashMatrix() {
+    // Generate the manifest with the *serial* store, so the matrix also
+    // re-checks pipelined-vs-serial byte identity record by record.
+    auto mem = std::make_shared<MemStorage>();
+    CheckpointStore store(mem, fast_retry());
+    ModelState state(spec);
+    state.init_random(33);
+    Adam adam;
+    Tensor grad(spec.param_count());
+    Tensor densed(spec.param_count());
+    Xoshiro256 rng(34);
+    std::vector<std::pair<std::uint64_t, char>> manifest;
+    for (std::uint64_t t = 0; t < 9; ++t) {
+      ops::fill_normal(grad.span(), rng, 0.4f);
+      const auto payload = comp.compress(grad.cspan(), t);
+      comp.decompress(payload, densed.span());
+      adam.step(state, densed.cspan());
+      if (t == 2 || t == 6) {
+        LOWDIFF_ENSURE(store.put_full(t, state).ok(), "put_full failed");
+        manifest.emplace_back(t, 'f');
+      } else if (t > 2) {
+        LOWDIFF_ENSURE(store.put_diff(payload).ok(), "put_diff failed");
+        manifest.emplace_back(t, 'd');
+      }
+      refs.push_back(state.clone());
+    }
+    for (const auto& [t, kind] : manifest) {
+      const std::string key = kind == 'f' ? CheckpointStore::full_key(t)
+                                          : CheckpointStore::diff_key(t);
+      records.push_back({key, *mem->read(key), t});
+    }
+    LOWDIFF_ENSURE(records.size() == 7, "manifest: fulls @2,6; diffs @3,4,5,7,8");
+  }
+
+  /// Runs the full pipelined schedule (puts → barrier → final sync) against
+  /// a crash armed after `crash_after` ops; nullopt = dry run, never crash.
+  std::shared_ptr<CrashableStorage> run(
+      std::size_t window, std::size_t cadence, std::size_t chunk,
+      std::optional<std::uint64_t> crash_after) const {
+    auto crashable =
+        std::make_shared<CrashableStorage>(std::make_shared<MemStorage>());
+    if (crash_after) crashable->set_crash_after_ops(*crash_after);
+    {
+      PipelinedWriter::Options opt;
+      opt.spec.enabled = true;
+      opt.spec.window = window;
+      opt.spec.records_per_sync = cadence;
+      opt.spec.chunk_bytes = chunk;
+      opt.retry = fast_retry(2);
+      PipelinedWriter writer(crashable, opt);
+      for (const auto& rec : records) writer.put(rec.key, ByteBuffer(rec.bytes));
+      (void)writer.barrier();
+    }
+    (void)crashable->sync();  // marker durability — the schedule's final op
+    return crashable;
+  }
+
+  void check_every_boundary(std::size_t window, std::size_t cadence) {
+    const std::uint64_t R = records.size();
+    const std::uint64_t groups = (R + cadence - 1) / cadence;
+    // Closed form: R data writes + ⌈R/cadence⌉ group syncs + R marker
+    // writes + 1 final sync.  Asserted in-test, per ISSUE: the matrix must
+    // *prove* it enumerated everything, not sample.
+    const std::uint64_t expected_ops = 2 * R + groups + 1;
+
+    const auto dry = run(window, cadence, /*chunk=*/97, std::nullopt);
+    ASSERT_FALSE(dry->crashed());
+    ASSERT_EQ(dry->applied_ops(), expected_ops);
+    // Chunk granularity must not change the op schedule: chunks are SQ
+    // entries, not backend ops.
+    EXPECT_EQ(run(window, cadence, 1 << 20, std::nullopt)->applied_ops(),
+              expected_ops);
+
+    const auto boundaries = drain(exhaustive_kill_points(expected_ops));
+    ASSERT_EQ(boundaries.size(), expected_ops + 1);
+
+    std::set<std::size_t> prefixes_seen;
+    for (const std::uint64_t k : boundaries) {
+      SCOPED_TRACE("crash after op " + std::to_string(k) + " of " +
+                   std::to_string(expected_ops));
+      const auto crashed = run(window, cadence, 97, k);
+      EXPECT_TRUE(crashed->crashed());
+      const auto snap = crashed->durable_snapshot();
+
+      // I2: committed records are a put-order prefix.
+      std::size_t prefix = 0;
+      while (prefix < records.size() &&
+             is_committed(*snap, records[prefix].key)) {
+        ++prefix;
+      }
+      for (std::size_t i = prefix; i < records.size(); ++i) {
+        EXPECT_FALSE(is_committed(*snap, records[i].key))
+            << "marker gap at record " << i << " breaks commit order";
+      }
+      prefixes_seen.insert(prefix);
+
+      // I1: every durable marker covers present, CRC-valid, byte-identical
+      // data — a marker is never observable before its data.
+      Xoshiro256 rng = fast_retry().make_rng(2);
+      for (std::size_t i = 0; i < prefix; ++i) {
+        const auto back =
+            committed_read(*snap, records[i].key, fast_retry(), rng);
+        ASSERT_TRUE(back.ok()) << records[i].key << ": " << back.status().to_string();
+        EXPECT_EQ(*back, records[i].bytes);
+      }
+
+      // Recovery: bit-exact at the prefix boundary, or cleanly absent.
+      CheckpointStore store(snap, fast_retry());
+      if (prefix == 0) {
+        EXPECT_FALSE(store.latest_full().has_value());
+      } else {
+        RecoveryEngine engine(spec, std::make_unique<Adam>(), comp.clone());
+        RecoveryReport report;
+        const auto recovered = engine.recover_serial(store, &report);
+        EXPECT_EQ(report.final_iteration, records[prefix - 1].iter);
+        EXPECT_TRUE(recovered.bit_equal(refs[records[prefix - 1].iter]));
+        EXPECT_EQ(report.corrupt_diffs_skipped, 0u);
+      }
+    }
+
+    // Non-vacuity: the matrix must have exercised "nothing durable",
+    // intermediate prefixes, and the fully-committed end state.
+    EXPECT_TRUE(prefixes_seen.count(0));
+    EXPECT_TRUE(prefixes_seen.count(records.size()));
+    EXPECT_GE(prefixes_seen.size(), 3u);
+  }
+};
+
+TEST(PipelinedCrashMatrix, EveryBoundaryRecoversBitExactOrDegradesCleanly) {
+  CrashMatrix matrix;
+  matrix.check_every_boundary(/*window=*/4, /*cadence=*/2);
+}
+
+TEST(PipelinedCrashMatrix, SingleRecordWindowEnumeratesAllBoundariesToo) {
+  // window 1 / cadence 1 degenerates to the serial schedule — the matrix
+  // must hold there as well (and M grows to 2R + R + 1).
+  CrashMatrix matrix;
+  matrix.check_every_boundary(/*window=*/1, /*cadence=*/1);
+}
+
+// ===========================================================================
+// Fault-injection sweep (tentpole requirement (c)): torn writes, silent bit
+// flips, and sync timeouts mid-window.  Invariant under test everywhere:
+// the commit marker is never observable before (valid, durable) data.
+// ===========================================================================
+
+TEST(PipelineFaults, TornWritesLeaveDataInvisibleAndUnmarked) {
+  FaultSpec faults;
+  faults.torn_write_rate = 1.0;
+  faults.seed = 77;
+  auto mem = std::make_shared<MemStorage>();
+  auto torn = std::make_shared<FaultInjectingStorage>(mem, faults);
+
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 4;
+  opt.spec.records_per_sync = 2;
+  opt.retry = fast_retry(2);
+  PipelinedWriter writer(torn, opt);
+  std::vector<Status> results;
+  for (int i = 0; i < 6; ++i) {
+    writer.put("rec/" + std::to_string(i), ByteBuffer(pattern_bytes(512, 300 + i)),
+               [&results](const Status& st) { results.push_back(st); });
+  }
+  const Status barrier = writer.barrier();
+  EXPECT_FALSE(barrier.ok());
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& st : results) EXPECT_FALSE(st.ok());
+
+  // Torn prefixes landed on the device, but I3 held: not one marker was
+  // even *attempted*, so every record reads back as absent, never as torn.
+  EXPECT_GE(torn->fault_stats().torn_writes, 6u);
+  EXPECT_TRUE(mem->exists("rec/0"));
+  EXPECT_EQ(marker_count(*mem), 0u);
+  Xoshiro256 rng = fast_retry().make_rng(3);
+  for (int i = 0; i < 6; ++i) {
+    const auto read =
+        committed_read(*mem, "rec/" + std::to_string(i), fast_retry(), rng);
+    EXPECT_EQ(read.status().code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(PipelineFaults, SilentBitFlipsAreDetectedAtReadNeverServed) {
+  FaultSpec faults;
+  faults.bit_flip_rate = 1.0;  // every write lands with one bit corrupted
+  faults.seed = 78;
+  auto mem = std::make_shared<MemStorage>();
+  auto flipping = std::make_shared<FaultInjectingStorage>(mem, faults);
+
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 4;
+  opt.spec.records_per_sync = 2;
+  opt.retry = fast_retry(2);
+  std::vector<std::pair<std::string, std::vector<std::byte>>> written;
+  {
+    PipelinedWriter writer(flipping, opt);
+    for (int i = 0; i < 6; ++i) {
+      written.emplace_back("rec/" + std::to_string(i),
+                           pattern_bytes(512, 400 + i));
+      writer.put(written.back().first, ByteBuffer(written.back().second));
+    }
+    // The writes "succeeded" — the corruption is silent.
+    EXPECT_TRUE(writer.barrier().ok());
+  }
+  ASSERT_GT(flipping->fault_stats().bit_flips, 0u);
+
+  // Every committed read must detect the damage via the marker CRC chain;
+  // under no circumstances are corrupt bytes served as the original.
+  Xoshiro256 rng = fast_retry().make_rng(4);
+  for (const auto& [key, original] : written) {
+    const auto back = committed_read(*mem, key, fast_retry(), rng);
+    ASSERT_FALSE(back.ok()) << key << " served corrupt data";
+    EXPECT_EQ(back.status().code(), ErrorCode::kCorrupted);
+  }
+}
+
+TEST(PipelineFaults, SyncTimeoutMidWindowFailsTheGroupBeforeAnyMarker) {
+  // Modeled device whose fsync takes 20 ms against a 4 ms sync deadline:
+  // every group sync times out mid-window.  Data writes are unaffected.
+  auto mem = std::make_shared<MemStorage>();
+  LinkSpec link;
+  link.bytes_per_sec = 1e12;
+  link.sync_latency_sec = 0.02;
+  auto throttled = std::make_shared<ThrottledStorage>(
+      mem, link, /*time_scale=*/1.0, "pipeline_timeout_test");
+  DeadlineSpec deadline;
+  deadline.sync_deadline_sec = 0.004;
+  auto deadlined = std::make_shared<DeadlineStorage>(throttled, deadline);
+
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 4;
+  opt.spec.records_per_sync = 3;
+  opt.retry = fast_retry(1);  // timeouts are retryable; don't pay twice
+  PipelinedWriter writer(deadlined, opt);
+  std::vector<Status> results;
+  for (int i = 0; i < 6; ++i) {
+    writer.put("rec/" + std::to_string(i), ByteBuffer(pattern_bytes(256, 500 + i)),
+               [&results](const Status& st) { results.push_back(st); });
+  }
+  const Status barrier = writer.barrier();
+  EXPECT_FALSE(barrier.ok());
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& st : results) EXPECT_FALSE(st.ok());
+  EXPECT_GE(deadlined->timeouts(), 2u);  // both group syncs timed out
+
+  // Durability unknown ⇒ whole group unmarked: data objects exist, yet not
+  // one commit marker is observable.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(mem->exists("rec/" + std::to_string(i)));
+  }
+  EXPECT_EQ(marker_count(*mem), 0u);
+}
+
+// ===========================================================================
+// Client integration: the flag must thread through every persist client
+// with bit-identical artifacts (tentpole requirement (a), client half).
+// ===========================================================================
+
+PipelineSpec test_pipeline() {
+  PipelineSpec spec;
+  spec.enabled = true;
+  spec.window = 4;
+  spec.records_per_sync = 2;
+  spec.chunk_bytes = 700;  // force multi-chunk staging for full checkpoints
+  return spec;
+}
+
+TEST(PipelinedClients, CheckpointStorePipelineIsBitIdentical) {
+  const auto spec = spec_of(120);
+  ModelState state(spec);
+  state.init_random(55);
+  TopKCompressor comp(0.2);
+  Tensor grad(spec.param_count());
+  Xoshiro256 rng(56);
+
+  auto run = [&](bool pipelined) {
+    auto mem = std::make_shared<MemStorage>();
+    CheckpointStore store(mem, fast_retry());
+    if (pipelined) {
+      store.enable_pipeline(test_pipeline());
+      EXPECT_TRUE(store.pipeline_enabled());
+    }
+    Xoshiro256 grad_rng(57);
+    EXPECT_TRUE(store.put_full(0, state).ok());
+    for (std::uint64_t t = 1; t <= 4; ++t) {
+      ops::fill_normal(grad.span(), grad_rng, 0.3f);
+      EXPECT_TRUE(store.put_diff(comp.compress(grad.cspan(), t)).ok());
+    }
+    return dump(*mem);
+  };
+
+  const auto serial = run(false);
+  const auto pipelined = run(true);
+  EXPECT_EQ(serial, pipelined);
+
+  // Disabling restores the serial path.
+  CheckpointStore store(std::make_shared<MemStorage>(), fast_retry());
+  store.enable_pipeline(test_pipeline());
+  store.enable_pipeline(PipelineSpec{});
+  EXPECT_FALSE(store.pipeline_enabled());
+}
+
+TEST(PipelinedClients, AsyncWriterPipelinedIsBitIdentical) {
+  auto run = [&](const PipelineSpec& pipeline) {
+    auto mem = std::make_shared<MemStorage>();
+    AsyncWriter::Options opt;
+    opt.retry = fast_retry();
+    opt.committed = true;
+    opt.pipeline = pipeline;
+    std::atomic<int> done{0};
+    {
+      AsyncWriter writer(mem, opt);
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(writer.submit("rec/" + std::to_string(i),
+                                  pattern_bytes(900, 600 + i),
+                                  [&done] { ++done; }));
+      }
+      writer.flush();
+      EXPECT_EQ(writer.completed_jobs(), 10u);
+      EXPECT_EQ(writer.failed_jobs(), 0u);
+    }
+    EXPECT_EQ(done.load(), 10);
+    return dump(*mem);
+  };
+
+  const auto serial = run(PipelineSpec{});
+  const auto pipelined = run(test_pipeline());
+  EXPECT_EQ(serial, pipelined);
+  EXPECT_EQ(marker_count_of(serial), 10u);
+}
+
+// ===========================================================================
+// All six strategies, serial vs pipelined, identical backend bytes.
+// ===========================================================================
+
+struct StrategyHarness {
+  explicit StrategyHarness(std::size_t n = 200, std::uint64_t seed = 5)
+      : spec(spec_of(n)), state(spec), grad(n), dense(n), rng(seed) {
+    state.init_random(seed);
+  }
+
+  void step(std::uint64_t iter, CheckpointStrategy& strategy,
+            const Compressor& comp) {
+    ops::fill_normal(grad.span(), rng, 0.4f);
+    auto payload = std::make_shared<const CompressedGrad>(
+        comp.compress(grad.cspan(), iter));
+    comp.decompress(*payload, dense.span());
+    adam.step(state, dense.cspan());
+    strategy.after_step(iter, state, std::move(payload));
+  }
+
+  ModelSpec spec;
+  ModelState state;
+  Tensor grad, dense;
+  Xoshiro256 rng;
+  Adam adam;
+};
+
+TEST(PipelinedClients, AllSixStrategiesProduceIdenticalBytes) {
+  struct Case {
+    const char* name;
+    std::function<std::map<std::string, std::vector<std::byte>>(
+        const PipelineSpec&)>
+        run;
+  };
+
+  const TopKCompressor comp(0.1);
+  const auto cases = std::vector<Case>{
+      {"torch.save",
+       [&](const PipelineSpec& ps) {
+         auto mem = std::make_shared<MemStorage>();
+         auto store = std::make_shared<CheckpointStore>(mem, fast_retry());
+         TorchSaveStrategy strategy(store, /*interval=*/3, ps);
+         StrategyHarness h;
+         for (std::uint64_t t = 0; t < 10; ++t) h.step(t, strategy, comp);
+         strategy.flush();
+         return dump(*mem);
+       }},
+      {"CheckFreq",
+       [&](const PipelineSpec& ps) {
+         auto mem = std::make_shared<MemStorage>();
+         auto store = std::make_shared<CheckpointStore>(mem, fast_retry());
+         CheckFreqStrategy strategy(store, /*interval=*/3, ps);
+         StrategyHarness h;
+         for (std::uint64_t t = 0; t < 10; ++t) h.step(t, strategy, comp);
+         strategy.flush();
+         return dump(*mem);
+       }},
+      {"Gemini",
+       [&](const PipelineSpec& ps) {
+         auto tier = std::make_shared<MemStorage>();
+         auto durable_mem = std::make_shared<MemStorage>();
+         auto durable =
+             std::make_shared<CheckpointStore>(durable_mem, fast_retry());
+         GeminiStrategy strategy(tier, durable, /*interval=*/1,
+                                 /*persist_interval=*/4, ps);
+         StrategyHarness h;
+         for (std::uint64_t t = 0; t < 10; ++t) h.step(t, strategy, comp);
+         strategy.flush();
+         auto image = dump(*durable_mem);
+         // Fold the memory tier in too: the pipeline must not perturb it.
+         for (auto& [k, v] : dump(*tier)) image.emplace("tier/" + k, std::move(v));
+         return image;
+       }},
+      {"NaiveDC",
+       [&](const PipelineSpec& ps) {
+         auto mem = std::make_shared<MemStorage>();
+         auto store = std::make_shared<CheckpointStore>(mem, fast_retry());
+         NaiveDcStrategy strategy(store, std::make_unique<TopKCompressor>(1.0),
+                                  /*diff_interval=*/1, /*full_interval=*/6, ps);
+         StrategyHarness h;
+         for (std::uint64_t t = 0; t < 10; ++t) h.step(t, strategy, comp);
+         strategy.flush();
+         return dump(*mem);
+       }},
+      {"LowDiff",
+       [&](const PipelineSpec& ps) {
+         auto mem = std::make_shared<MemStorage>();
+         auto store = std::make_shared<CheckpointStore>(mem, fast_retry());
+         LowDiffStrategy::Options opt;
+         opt.batch_size = 3;
+         opt.full_interval = 5;
+         opt.pipeline = ps;
+         LowDiffStrategy strategy(store, opt);
+         StrategyHarness h;
+         for (std::uint64_t t = 0; t < 12; ++t) h.step(t, strategy, comp);
+         strategy.flush();
+         return dump(*mem);
+       }},
+      {"LowDiff+",
+       [&](const PipelineSpec& ps) {
+         auto mem = std::make_shared<MemStorage>();
+         auto store = std::make_shared<CheckpointStore>(mem, fast_retry());
+         const auto spec = spec_of(100);
+         ModelState train_state(spec);
+         train_state.init_random(2);
+         LowDiffPlusStrategy::Options opt;
+         opt.persist_interval = 4;
+         opt.pipeline = ps;
+         LowDiffPlusStrategy strategy(store, train_state,
+                                      std::make_unique<Adam>(), opt);
+         Adam adam;
+         DenseCompressor dense;
+         Tensor grad(spec.param_count());
+         Xoshiro256 rng(6);
+         for (std::uint64_t t = 0; t < 8; ++t) {
+           ops::fill_normal(grad.span(), rng, 0.2f);
+           adam.step(train_state, grad.cspan());
+           strategy.after_step(t, train_state,
+                               std::make_shared<const CompressedGrad>(
+                                   dense.compress(grad.cspan(), t)));
+         }
+         strategy.flush();
+         return dump(*mem);
+       }},
+  };
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto serial = c.run(PipelineSpec{});
+    const auto pipelined = c.run(test_pipeline());
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, pipelined);
+  }
+}
+
+}  // namespace
+}  // namespace lowdiff

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/buffer_pool.h"
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/logging.h"
@@ -18,9 +19,11 @@
 #include "storage/async_writer.h"
 #include "storage/atomic_commit.h"
 #include "storage/bandwidth.h"
+#include "storage/deadline.h"
 #include "storage/fault_injection.h"
 #include "storage/file_storage.h"
 #include "storage/mem_storage.h"
+#include "storage/pipelined_writer.h"
 #include "storage/serializer.h"
 #include "storage/stacking.h"
 #include "storage/throttled.h"
@@ -775,6 +778,131 @@ TEST(StorageStacking, FailedReadCostsNoReadBandwidth) {
   // A clean device read error returns no bytes, so the link stays idle —
   // only possible with fault injection *below* the throttle.
   EXPECT_EQ(stack.root->busy_time(), before);
+}
+
+// --- pipelined writer over the canonical stack -------------------------------
+//
+// The persist pipeline must honor the same physical model the serial path
+// is tested against above: faults fire under the throttle, deadlines sit
+// on top of both.  These cases pin the pipeline × decorator composition;
+// the pipeline-only invariants live in test_persist_pipeline.cpp.
+
+std::size_t stack_marker_count(const MemStorage& base) {
+  std::size_t n = 0;
+  for (const auto& key : base.list()) {
+    if (is_commit_marker(key)) ++n;
+  }
+  return n;
+}
+
+TEST(StorageStacking, PipelinedTornWritesChargeTheLinkAndCommitNothing) {
+  FaultSpec faults;
+  faults.torn_write_rate = 1.0;
+  faults.seed = 41;
+  auto stack = make_stacked_backend(LinkSpec{1e6, 0.0}, faults, 1e-9);
+  set_log_level(LogLevel::kOff);  // every record legitimately logs its failure
+
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 4;
+  opt.spec.records_per_sync = 2;
+  opt.retry = fast_policy();
+  opt.retry.max_attempts = 2;
+  PipelinedWriter writer(stack.root, opt);
+  for (int i = 0; i < 3; ++i) {
+    writer.put("rec/" + std::to_string(i),
+               ByteBuffer(std::vector<std::byte>(10'000, std::byte{0xAB})));
+  }
+  EXPECT_FALSE(writer.barrier().ok());
+
+  // Every attempt pushed the full object across the wire before the device
+  // tore it: 3 records × 2 attempts × 10 ms of link occupancy, exactly as
+  // the serial path is charged.  Syncs move no payload bytes.
+  EXPECT_EQ(stack.faults->fault_stats().torn_writes, 6u);
+  EXPECT_NEAR(stack.root->busy_time(), 0.06, 1e-9);
+  // I3 through the stack: torn prefixes landed on the device but not one
+  // marker did — the records are absent, never torn.
+  ASSERT_TRUE(stack.base->exists("rec/0"));
+  EXPECT_EQ(stack_marker_count(*stack.base), 0u);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(StorageStacking, PipelinedSyncDeadlineFailsTheGroupBeforeAnyMarker) {
+  // Link with a slow, real-time sync (20 ms wall) under a 4 ms sync
+  // deadline: every group sync times out while data writes sail through.
+  auto stack =
+      make_stacked_backend(LinkSpec{1e12, 0.0, 0.02}, {}, /*time_scale=*/1.0);
+  DeadlineSpec deadlines;
+  deadlines.sync_deadline_sec = 0.004;
+  auto guarded = std::make_shared<DeadlineStorage>(stack.root, deadlines);
+  set_log_level(LogLevel::kOff);
+
+  PipelinedWriter::Options opt;
+  opt.spec.enabled = true;
+  opt.spec.window = 4;
+  opt.spec.records_per_sync = 2;
+  opt.retry = fast_policy();
+  opt.retry.max_attempts = 1;  // one 20 ms stall per group is plenty
+  PipelinedWriter writer(guarded, opt);
+  std::vector<Status> results;
+  for (int i = 0; i < 4; ++i) {
+    writer.put("rec/" + std::to_string(i),
+               ByteBuffer(std::vector<std::byte>(512, std::byte{0x5A})),
+               [&results](const Status& st) { results.push_back(st); });
+  }
+  EXPECT_FALSE(writer.barrier().ok());
+
+  // Both group syncs converted to kTimeout; the data is on the device but
+  // without a covering sync no record may surface a marker (I1/I3 under a
+  // deadline, not just under injected faults).
+  EXPECT_GE(guarded->timeouts(), 2u);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& st : results) EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(stack.base->exists("rec/0"));
+  EXPECT_EQ(stack_marker_count(*stack.base), 0u);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(StorageStacking, PipelinedBytesBitExactThroughTheFullStack) {
+  // Serial committed reference on a bare MemStorage...
+  auto serial_mem = std::make_shared<MemStorage>();
+  Xoshiro256 rng(9);
+  std::vector<std::pair<std::string, std::vector<std::byte>>> records;
+  Xoshiro256 fill(1234);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<std::byte> bytes(301 * (i + 1));
+    for (auto& b : bytes) b = std::byte(fill() & 0xFF);
+    records.emplace_back("rec/" + std::to_string(i), bytes);
+  }
+  for (const auto& [key, bytes] : records) {
+    ASSERT_TRUE(committed_write(*serial_mem, key, bytes, fast_policy(), rng).ok());
+  }
+
+  // ...vs the pipeline pushing the same records through the whole
+  // Deadline(Throttled(FaultInjecting(Mem))) stack with generous limits.
+  auto stack = make_stacked_backend(LinkSpec{1e9, 0.0}, {}, 1e-9);
+  DeadlineSpec deadlines;
+  deadlines.write_deadline_sec = 10.0;
+  deadlines.sync_deadline_sec = 10.0;
+  auto guarded = std::make_shared<DeadlineStorage>(stack.root, deadlines);
+  {
+    PipelinedWriter::Options opt;
+    opt.spec.enabled = true;
+    opt.spec.window = 4;
+    opt.spec.records_per_sync = 2;
+    opt.spec.chunk_bytes = 256;
+    opt.retry = fast_policy();
+    PipelinedWriter writer(guarded, opt);
+    for (const auto& [key, bytes] : records) writer.put(key, ByteBuffer(bytes));
+    EXPECT_TRUE(writer.barrier().ok());
+  }
+
+  // I4 survives the decorators: byte-identical artifacts, markers included.
+  ASSERT_EQ(stack.base->list(), serial_mem->list());
+  for (const auto& key : serial_mem->list()) {
+    EXPECT_EQ(*stack.base->read(key), *serial_mem->read(key)) << key;
+  }
+  EXPECT_EQ(guarded->timeouts(), 0u);
 }
 
 TEST(AsyncWriter, CommittedModeWritesMarkers) {

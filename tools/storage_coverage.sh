@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Line-coverage gate for src/storage, built on plain gcov (the CI image
+# carries no gcovr; the awk is mawk-compatible).  Usage:
+#
+#   tools/storage_coverage.sh <coverage-build-dir> [min-line-pct]
+#
+# Expects the build to have been configured with -DLOWDIFF_COVERAGE=ON and
+# the test suite to have run (ctest -L tier1), so .gcda data files exist.
+# Runs `gcov -n` over every src/storage object, aggregates "Lines
+# executed" across files that live under src/storage/ (sources and
+# headers), prints a per-file table, and exits nonzero when the aggregate
+# line coverage falls below the floor.
+#
+# The floor is the post-PR-7 baseline minus a small slack; raise it when
+# coverage rises, never lower it to make a regression pass.
+set -euo pipefail
+
+build_dir=${1:?usage: storage_coverage.sh <coverage-build-dir> [min-line-pct]}
+min_pct=${2:-85}
+
+gcda_list=$(find "$build_dir" -path '*src/storage*' -name '*.gcda' | sort)
+if [[ -z "$gcda_list" ]]; then
+  echo "storage_coverage: no .gcda files under $build_dir/src/storage —" \
+       "configure with -DLOWDIFF_COVERAGE=ON and run the tests first" >&2
+  exit 2
+fi
+
+# gcov emits, per source it touched:   File '<path>'
+#                                      Lines executed:NN.NN% of MM
+# Keep only files under src/storage (the gate's subject; the same objects
+# also pull in headers from common/ etc., which other gates own).  The
+# same header shows up once per including object — keep the best view of
+# each file (a line is covered if any object covered it).
+rows=$(echo "$gcda_list" | xargs gcov -n 2>/dev/null | awk '
+  /^File / {
+    file = $0
+    sub(/^File .'\''/, "", file); sub(/'\''$/, "", file)
+    interesting = (file ~ /src\/storage\//)
+    next
+  }
+  /^Lines executed:/ && interesting {
+    pct = $0; sub(/^Lines executed:/, "", pct); sub(/% of .*/, "", pct)
+    n = $NF
+    key = file
+    sub(/^.*src\/storage\//, "src/storage/", key)
+    if (!(key in best_n) || pct * n > best_pct[key] * best_n[key]) {
+      best_pct[key] = pct; best_n[key] = n
+    }
+    interesting = 0
+  }
+  END {
+    for (k in best_n) printf "%s %d %.2f\n", k, best_n[k], best_pct[k]
+  }' | sort)
+
+if [[ -z "$rows" ]]; then
+  echo "storage_coverage: gcov reported no src/storage lines" >&2
+  exit 2
+fi
+
+printf '%-52s %8s %8s\n' "src/storage file" "lines" "cover%"
+echo "$rows" | awk '{ printf "%-52s %8d %7.2f%%\n", $1, $2, $3 }'
+echo "$rows" | awk -v floor="$min_pct" '
+  { total += $2; covered += $2 * $3 / 100.0 }
+  END {
+    agg = 100.0 * covered / total
+    printf "%-52s %8d %7.2f%%  (floor %.1f%%)\n", "TOTAL", total, agg, floor
+    if (agg < floor) {
+      printf "storage_coverage: FAILED — %.2f%% < %.1f%% floor\n", agg, floor > "/dev/stderr"
+      exit 1
+    }
+  }'
