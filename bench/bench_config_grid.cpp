@@ -12,17 +12,50 @@
 /// an accelerated failure process (see EXPERIMENTS.md); the failure run
 /// below injects failures accordingly.  Results are normalized, as in the
 /// paper.
+///
+/// Both grids are data-driven: the axes below are the single source of
+/// truth for grid dimensions, headers, and row labels — extending either
+/// vector extends the sweep without touching the emit code.
 
 #include <limits>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/config_optimizer.h"
 #include "sim/run_sim.h"
+#include "sim/sweep.h"
 
 namespace {
 
 using namespace lowdiff;
 using namespace lowdiff::sim;
+
+const std::vector<std::uint64_t> kFcfRows = {10, 20, 50, 100};
+const std::vector<std::uint64_t> kBsCols = {1, 2, 3, 4, 5, 6};
+
+std::vector<std::string> grid_headers() {
+  std::vector<std::string> headers{"FCF\\BS"};
+  for (const std::uint64_t bs : kBsCols) headers.push_back(std::to_string(bs));
+  return headers;
+}
+
+/// Emits one normalized (FCF x BS) table: values divided by the grid min.
+void emit_normalized_grid(const std::string& title, const std::string& csv,
+                          const std::vector<std::vector<double>>& grid) {
+  double min_value = std::numeric_limits<double>::infinity();
+  for (const auto& row : grid)
+    for (const double v : row) min_value = std::min(min_value, v);
+
+  bench::Table table(title, grid_headers(), csv);
+  for (std::size_t r = 0; r < kFcfRows.size(); ++r) {
+    std::vector<std::string> row{std::to_string(kFcfRows[r])};
+    for (std::size_t c = 0; c < kBsCols.size(); ++c) {
+      row.push_back(bench::Table::fmt(grid[r][c] / min_value));
+    }
+    table.add_row(std::move(row));
+  }
+  table.emit();
+}
 
 }  // namespace
 
@@ -34,9 +67,6 @@ int main(int argc, char** argv) {
   const auto w = Workload::for_model("GPT2-L", cluster.gpu, 0.01);
   StrategyTimeline probe(cluster, w, {StrategyKind::kNone, 1});
   const double iter0 = probe.baseline_iteration_time();
-
-  const std::uint64_t fcf_rows[] = {10, 20, 50, 100};
-  const std::uint64_t bs_cols[] = {1, 2, 3, 4, 5, 6};
 
   // --- Eq. (3) analytic grid --------------------------------------------------
   WastedTimeParams params;
@@ -52,60 +82,54 @@ int main(int argc, char** argv) {
   params.merge_diff_sec = 0.15 * iter0;
 
   {
-    double grid[4][6];
-    double min_value = std::numeric_limits<double>::infinity();
-    for (int r = 0; r < 4; ++r) {
-      for (int c = 0; c < 6; ++c) {
-        const double f = 1.0 / (static_cast<double>(fcf_rows[r]) * iter0);
-        const double b = static_cast<double>(bs_cols[c]) * iter0;
+    std::vector<std::vector<double>> grid(
+        kFcfRows.size(), std::vector<double>(kBsCols.size()));
+    for (std::size_t r = 0; r < kFcfRows.size(); ++r) {
+      for (std::size_t c = 0; c < kBsCols.size(); ++c) {
+        const double f = 1.0 / (static_cast<double>(kFcfRows[r]) * iter0);
+        const double b = static_cast<double>(kBsCols[c]) * iter0;
         grid[r][c] = wasted_time_model(params, f, b);
-        min_value = std::min(min_value, grid[r][c]);
       }
     }
-    bench::Table table("Table I (Eq. 3 model) — normalized wasted time",
-                       {"FCF\\BS", "1", "2", "3", "4", "5", "6"},
-                       "table1_model.csv");
-    for (int r = 0; r < 4; ++r) {
-      std::vector<std::string> row{std::to_string(fcf_rows[r])};
-      for (int c = 0; c < 6; ++c) {
-        row.push_back(bench::Table::fmt(grid[r][c] / min_value));
-      }
-      table.add_row(std::move(row));
-    }
-    table.emit();
+    emit_normalized_grid("Table I (Eq. 3 model) — normalized wasted time",
+                         "table1_model.csv", grid);
   }
 
   // --- failure-injecting simulator grid ---------------------------------------
+  // Routed through run_sweep: one SweepCell per (FCF, BS) coordinate, step
+  // costs memoized across cells.  keep_seed pins the historical seed so the
+  // normalized table is unchanged from the scalar-loop version.
   {
-    double grid[4][6];
-    double min_value = std::numeric_limits<double>::infinity();
-    for (int r = 0; r < 4; ++r) {
-      for (int c = 0; c < 6; ++c) {
-        StrategyConfig cfg;
-        cfg.kind = StrategyKind::kLowDiff;
-        cfg.ckpt_interval = 1;
-        cfg.full_interval = fcf_rows[r];
-        cfg.batch_size = bs_cols[c];
-        FailureRunConfig run;
-        run.train_work_sec = 900.0;
-        run.mtbf_sec = params.mtbf_sec;
-        run.restart_overhead_sec = 0.0;  // isolate checkpointing terms
-        run.seed = 20250705;
-        grid[r][c] = run_with_failures(cluster, w, cfg, run).wasted_time;
-        min_value = std::min(min_value, grid[r][c]);
+    std::vector<SweepCell> cells;
+    for (const std::uint64_t fcf : kFcfRows) {
+      for (const std::uint64_t bs : kBsCols) {
+        SweepCell cell;
+        cell.label = "fcf" + std::to_string(fcf) + "_bs" + std::to_string(bs);
+        cell.cluster = cluster;
+        cell.workload = w;
+        cell.strategy.kind = StrategyKind::kLowDiff;
+        cell.strategy.ckpt_interval = 1;
+        cell.strategy.full_interval = fcf;
+        cell.strategy.batch_size = bs;
+        cell.scenario.train_work_sec = 900.0;
+        cell.scenario.mtbf_sec = params.mtbf_sec;
+        cell.scenario.restart_overhead_sec = 0.0;  // isolate checkpointing terms
+        cell.scenario.seed = 20250705;
+        cell.keep_seed = true;
+        cells.push_back(std::move(cell));
       }
     }
-    bench::Table table("Table I (failure simulator) — normalized wasted time",
-                       {"FCF\\BS", "1", "2", "3", "4", "5", "6"},
-                       "table1_simulated.csv");
-    for (int r = 0; r < 4; ++r) {
-      std::vector<std::string> row{std::to_string(fcf_rows[r])};
-      for (int c = 0; c < 6; ++c) {
-        row.push_back(bench::Table::fmt(grid[r][c] / min_value));
-      }
-      table.add_row(std::move(row));
+    StepCostCache cache;
+    const auto results = run_sweep(cells, SweepOptions{}, nullptr, &cache);
+
+    std::vector<std::vector<double>> grid(
+        kFcfRows.size(), std::vector<double>(kBsCols.size()));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      grid[i / kBsCols.size()][i % kBsCols.size()] =
+          results[i].run.base.wasted_time;
     }
-    table.emit();
+    emit_normalized_grid("Table I (failure simulator) — normalized wasted time",
+                         "table1_simulated.csv", grid);
   }
 
   // --- Eq. (5) optimum -----------------------------------------------------------

@@ -2,41 +2,51 @@
 /// Reproduces Experiments 9 and 10 (Figs. 15, 16) on V100S servers:
 ///  - Exp. 9: effective training time ratio vs MTBF ∈ [0.1, 5] hours;
 ///  - Exp. 10: effective ratio vs cluster size (8–64 GPUs), with the
-///    cluster failure rate scaling with GPU count.
+///    cluster failure rate scaling with GPU count;
+///  - fleet extension: the same per-GPU failure model pushed to 1k/10k
+///    workers through the scenario engine's num_workers axis.
 ///
 /// Shape targets (paper): LowDiff > LowDiff+ > Gemini > CheckFreq >
 /// torch.save at every point; at MTBF 0.3 h roughly 92/86/81/76 %; at 64
 /// GPUs LowDiff ≈ 98 %, LowDiff+ ≈ 96 %, others ≈ 90 %.
+///
+/// All grids run through sim::run_sweep with one shared StepCostCache, so
+/// fixed baseline configurations calibrate once across every row; every
+/// cell carries dollar-denominated TCO, rolled up into sim.tco.* gauges.
 
 #include "bench_util.h"
 #include "core/config_optimizer.h"
 #include "sim/run_sim.h"
+#include "sim/sweep.h"
 
 namespace {
 
 using namespace lowdiff;
 using namespace lowdiff::sim;
 
-struct Ratios {
-  double torch, checkfreq, gemini, lowdiff, lowdiff_plus;
-};
+constexpr double kGpuHourUsd = 2.49;  // on-demand V100-class list price
 
-Ratios measure(const ClusterSpec& cluster, const Workload& w,
-               const Workload& w_dense, double mtbf_sec, std::uint64_t seed) {
-  FailureRunConfig run;
-  run.train_work_sec = 12 * 3600.0;
-  run.mtbf_sec = mtbf_sec;
-  run.seed = seed;
+// Column order shared by every table below.
+constexpr std::size_t kCols = 5;
+const char* kColNames[kCols] = {"torch.save", "CheckFreq", "Gemini", "LowDiff",
+                                "LowDiff+"};
 
+/// Appends the five strategy cells for one grid point.  `workers` > 0 runs
+/// the point through the scenario engine's fleet-size axis instead of
+/// resizing the cluster spec.
+void push_point(std::vector<SweepCell>& cells, const std::string& label,
+                const ClusterSpec& cluster, const Workload& w,
+                const Workload& w_dense, double mtbf_sec, std::uint64_t seed,
+                std::size_t workers = 0) {
   StrategyTimeline probe(cluster, w, {StrategyKind::kNone, 1});
   WastedTimeParams params;
-  params.num_gpus = cluster.num_gpus;
+  params.num_gpus = workers > 0 ? workers : cluster.num_gpus;
   params.mtbf_sec = mtbf_sec;
   params.full_ckpt_bytes = static_cast<double>(w.full_ckpt_bytes()) /
                            static_cast<double>(cluster.num_gpus);
   params.write_bw = cluster.storage.bytes_per_sec /
                     static_cast<double>(cluster.gpus_per_server);
-  params.total_train_sec = run.train_work_sec;
+  params.total_train_sec = 12 * 3600.0;
   params.load_full_sec = static_cast<double>(w.full_ckpt_bytes()) /
                          cluster.storage_read_bytes_per_sec;
   params.merge_diff_sec = 0.15 * probe.baseline_iteration_time();
@@ -47,23 +57,40 @@ Ratios measure(const ClusterSpec& cluster, const Workload& w,
   lowdiff.full_interval = tuned.full_interval;
   lowdiff.batch_size = tuned.batch_size;
 
-  Ratios out;
-  out.torch =
-      run_with_failures(cluster, w, {StrategyKind::kTorchSave, 25, 25}, run)
-          .effective_ratio;
-  out.checkfreq =
-      run_with_failures(cluster, w, {StrategyKind::kCheckFreq, 10, 10}, run)
-          .effective_ratio;
   // Gemini runs at its sustainable interval for this workload (Exp. 4): in
   // the long-horizon experiments every system operates at its own best
   // configuration, as the paper's scalability section does.
-  out.gemini = run_with_failures(cluster, w, {StrategyKind::kGemini, 3, 3}, run)
-                   .effective_ratio;
-  out.lowdiff = run_with_failures(cluster, w, lowdiff, run).effective_ratio;
-  out.lowdiff_plus =
-      run_with_failures(cluster, w_dense, {StrategyKind::kLowDiffPlus, 1}, run)
-          .effective_ratio;
-  return out;
+  const StrategyConfig configs[kCols] = {{StrategyKind::kTorchSave, 25, 25},
+                                         {StrategyKind::kCheckFreq, 10, 10},
+                                         {StrategyKind::kGemini, 3, 3},
+                                         lowdiff,
+                                         {StrategyKind::kLowDiffPlus, 1}};
+  for (std::size_t c = 0; c < kCols; ++c) {
+    SweepCell cell;
+    cell.label = label + "/" + kColNames[c];
+    cell.cluster = cluster;
+    cell.workload =
+        configs[c].kind == StrategyKind::kLowDiffPlus ? w_dense : w;
+    cell.strategy = configs[c];
+    cell.scenario.num_workers = workers;
+    cell.scenario.train_work_sec = 12 * 3600.0;
+    cell.scenario.mtbf_sec = mtbf_sec;
+    cell.scenario.seed = seed;
+    cell.scenario.cost.gpu_hour_usd = kGpuHourUsd;
+    cell.keep_seed = true;
+    cells.push_back(std::move(cell));
+  }
+}
+
+/// Emits one table row from the five cells starting at `offset`.
+void emit_row(bench::Table& table, const std::string& head,
+              const std::vector<SweepCellResult>& results,
+              std::size_t offset) {
+  std::vector<std::string> row{head};
+  for (std::size_t c = 0; c < kCols; ++c) {
+    row.push_back(bench::Table::pct(results[offset + c].run.base.effective_ratio));
+  }
+  table.add_row(std::move(row));
 }
 
 }  // namespace
@@ -78,39 +105,94 @@ int main(int argc, char** argv) {
   const auto w = Workload::for_model("GPT2-S", cluster.gpu, 0.01);
   const auto w_dense = Workload::for_model("GPT2-S", cluster.gpu, 0.0);
 
+  const std::vector<double> mtbf_hours = {0.1, 0.3, 0.5, 1.0, 2.0, 5.0};
+  const std::vector<std::size_t> gpu_sizes = {8, 16, 32, 64};
+  const std::vector<std::size_t> fleet_sizes = {1024, 10240};
+
+  std::vector<SweepCell> cells;
+  for (const double mtbf_h : mtbf_hours) {
+    push_point(cells, "exp9/" + bench::Table::fmt(mtbf_h, 1) + "h", cluster, w,
+               w_dense, mtbf_h * 3600.0, 9);
+  }
+  for (const std::size_t gpus : gpu_sizes) {
+    // Per-GPU MTBF fixed at 16 h: the cluster fails num_gpus times as often.
+    ClusterSpec c = cluster;
+    c.num_gpus = gpus;
+    const auto wl = Workload::for_model("GPT2-S", c.gpu, 0.01);
+    const auto wd = Workload::for_model("GPT2-S", c.gpu, 0.0);
+    push_point(cells, "exp10/" + std::to_string(gpus) + "gpu", c, wl, wd,
+               16.0 * 3600.0 / static_cast<double>(gpus), 10);
+  }
+  for (const std::size_t workers : fleet_sizes) {
+    // Fleet rows use a production-grade per-worker MTBF (5000 h — months,
+    // not the accelerated 16 h of Exp. 10): a 1k fleet then fails every
+    // ~4.9 h and a 10k fleet every ~29 min, the regime the paper's
+    // frequent-checkpointing argument targets.
+    push_point(cells, "fleet/" + std::to_string(workers), cluster, w, w_dense,
+               5000.0 * 3600.0 / static_cast<double>(workers), 11, workers);
+  }
+
+  StepCostCache cache;
+  const auto results = run_sweep(cells, SweepOptions{}, nullptr, &cache);
+  std::size_t offset = 0;
+
   {
     bench::Table table("Exp. 9 — effective training time ratio vs MTBF",
                        {"MTBF_h", "torch.save", "CheckFreq", "Gemini",
                         "LowDiff", "LowDiff+"},
                        "exp9_mtbf.csv");
-    for (double mtbf_h : {0.1, 0.3, 0.5, 1.0, 2.0, 5.0}) {
-      const auto r = measure(cluster, w, w_dense, mtbf_h * 3600.0, 9);
-      table.row(bench::Table::fmt(mtbf_h, 1), bench::Table::pct(r.torch),
-                bench::Table::pct(r.checkfreq), bench::Table::pct(r.gemini),
-                bench::Table::pct(r.lowdiff), bench::Table::pct(r.lowdiff_plus));
+    for (const double mtbf_h : mtbf_hours) {
+      emit_row(table, bench::Table::fmt(mtbf_h, 1), results, offset);
+      offset += kCols;
     }
     table.emit();
   }
 
   {
-    // Per-GPU MTBF fixed at 16 h: the cluster fails num_gpus times as often.
     bench::Table table("Exp. 10 — effective training time ratio vs #GPUs",
                        {"GPUs", "torch.save", "CheckFreq", "Gemini", "LowDiff",
                         "LowDiff+"},
                        "exp10_gpus.csv");
-    for (std::size_t gpus : {8, 16, 32, 64}) {
-      ClusterSpec c = cluster;
-      c.num_gpus = gpus;
-      const double mtbf = 16.0 * 3600.0 / static_cast<double>(gpus);
-      const auto wl = Workload::for_model("GPT2-S", c.gpu, 0.01);
-      const auto wd = Workload::for_model("GPT2-S", c.gpu, 0.0);
-      const auto r = measure(c, wl, wd, mtbf, 10);
-      table.row(std::to_string(gpus), bench::Table::pct(r.torch),
-                bench::Table::pct(r.checkfreq), bench::Table::pct(r.gemini),
-                bench::Table::pct(r.lowdiff), bench::Table::pct(r.lowdiff_plus));
+    for (const std::size_t gpus : gpu_sizes) {
+      emit_row(table, std::to_string(gpus), results, offset);
+      offset += kCols;
     }
     table.emit();
   }
+
+  {
+    // Fleet-scale extension: per-GPU MTBF 16 h at 1k/10k workers (cluster
+    // MTBF of ~56 s and ~5.6 s respectively) — the regime where frequent
+    // differential checkpointing is the difference between finishing and
+    // thrashing.  Runs through the scenario engine's num_workers axis.
+    bench::Table table("Fleet extension — effective ratio at 1k/10k workers",
+                       {"workers", "torch.save", "CheckFreq", "Gemini",
+                        "LowDiff", "LowDiff+"},
+                       "exp10_fleet.csv");
+    for (const std::size_t workers : fleet_sizes) {
+      emit_row(table, std::to_string(workers), results, offset);
+      offset += kCols;
+    }
+    table.emit();
+  }
+
+  const auto tco = summarize_tco(results);
+  bench::Table tco_table(
+      "Scalability TCO roll-up ($" + bench::Table::fmt(kGpuHourUsd) +
+          "/GPU-hour)",
+      {"strategy", "cells", "gpu_h_total", "gpu_h_wasted", "usd_total",
+       "usd_wasted"},
+      "scalability_tco.csv");
+  for (const auto& s : tco) {
+    tco_table.row(s.strategy_name, std::to_string(s.cells),
+                  bench::Table::fmt(s.gpu_hours_total, 1),
+                  bench::Table::fmt(s.gpu_hours_wasted, 1),
+                  bench::Table::fmt(s.cost_total_usd),
+                  bench::Table::fmt(s.cost_wasted_usd));
+  }
+  tco_table.emit();
+  bench::emit_tco_gauges(tco);
+
   lowdiff::bench::dump_registry_json();
   return 0;
 }

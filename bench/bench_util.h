@@ -19,6 +19,7 @@
 /// of the run: git SHA and build type (baked in at compile time), smoke
 /// mode, and — when the bench calls set_cluster() — the active ClusterSpec.
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +32,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "sim/cluster.h"
+#include "sim/sweep.h"
 
 /// Build provenance, normally injected by the build system
 /// (bench/CMakeLists.txt defines both from `git rev-parse` and
@@ -238,6 +240,33 @@ class Table {
   std::string csv_path_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Publishes a sweep's per-strategy TCO roll-up as registry gauges, so it
+/// lands in BENCH_<name>.json (schema in EXPERIMENTS.md).  Strategy names
+/// are normalized to metric-safe tokens ("W/O CKPT" -> "wo_ckpt").
+inline void emit_tco_gauges(const std::vector<sim::TcoSummary>& tco) {
+  auto& reg = obs::Registry::global();
+  for (const auto& t : tco) {
+    std::string token;
+    for (const char ch : t.strategy_name) {
+      if (std::isalnum(static_cast<unsigned char>(ch))) {
+        token += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      } else if (ch == '+') {
+        token += "_plus";
+      } else if (!token.empty() && token.back() != '_') {
+        token += '_';
+      }
+    }
+    while (!token.empty() && token.back() == '_') token.pop_back();
+    const std::string prefix = "sim.tco." + token + ".";
+    reg.gauge(prefix + "cells").set(static_cast<double>(t.cells));
+    reg.gauge(prefix + "gpu_hours_total").set(t.gpu_hours_total);
+    reg.gauge(prefix + "gpu_hours_wasted").set(t.gpu_hours_wasted);
+    reg.gauge(prefix + "cost_total_usd").set(t.cost_total_usd);
+    reg.gauge(prefix + "cost_wasted_usd").set(t.cost_wasted_usd);
+    reg.gauge(prefix + "worst_wasted_ratio").set(t.worst_wasted_ratio);
+  }
+}
 
 inline void header(const std::string& name, const std::string& paper_artifact) {
   std::cout << "======================================================\n"

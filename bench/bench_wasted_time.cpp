@@ -9,15 +9,23 @@
 ///  - LowDiff lowest everywhere; its lead over Gemini grows as MTBF falls;
 ///  - LowDiff+(S) 3.7–5.1 % below LowDiff (in-memory recovery);
 ///  - LowDiff+(H) slightly above LowDiff but below CheckFreq/Gemini.
+///
+/// The whole grid runs through sim::run_sweep with a shared StepCostCache:
+/// baseline strategies keep one memo entry across all three MTBF rows, and
+/// every cell carries dollar-denominated TCO (gpu_hour_usd below), rolled
+/// up per strategy into exp3_tco.csv and sim.tco.* gauges in the JSON.
 
 #include "bench_util.h"
 #include "core/config_optimizer.h"
 #include "sim/run_sim.h"
+#include "sim/sweep.h"
 
 namespace {
 
 using namespace lowdiff;
 using namespace lowdiff::sim;
+
+constexpr double kGpuHourUsd = 2.49;  // on-demand A100 list price
 
 }  // namespace
 
@@ -27,35 +35,27 @@ int main(int argc, char** argv) {
 
   const ClusterSpec cluster;
   const auto w = Workload::for_model("GPT2-S", cluster.gpu, 0.01);
+  const auto w_dense = Workload::for_model("GPT2-S", cluster.gpu, 0.0);
   StrategyTimeline probe(cluster, w, {StrategyKind::kNone, 1});
   const double iter0 = probe.baseline_iteration_time();
 
-  bench::Table table("Wasted time training GPT2-S for 8h of work (hours)",
-                     {"MTBF_h", "TorchSave", "CheckFreq", "Gemini", "NaiveDC",
-                      "LowDiff", "LowDiff+(S)", "LowDiff+(H)"},
-                     "exp3_wasted_time.csv");
+  // Column order of both tables; one sweep cell per (MTBF row, column).
+  const std::vector<double> mtbf_hours = {0.5, 1.0, 2.0};
+  constexpr std::size_t kCols = 7;
 
-  struct Row {
-    double mtbf_h;
-    FailureRunResult torch, checkfreq, gemini, naive, lowdiff, plus_s, plus_h;
-  };
-  std::vector<Row> failure_rows;
-
-  for (double mtbf_h : {0.5, 1.0, 2.0}) {
-    FailureRunConfig run;
-    run.train_work_sec = 8 * 3600.0;
-    run.mtbf_sec = mtbf_h * 3600.0;
-    run.seed = 42;
+  std::vector<SweepCell> cells;
+  for (const double mtbf_h : mtbf_hours) {
+    const double mtbf_sec = mtbf_h * 3600.0;
 
     // LowDiff at the analytically tuned configuration (§4.3).
     WastedTimeParams params;
     params.num_gpus = cluster.num_gpus;
-    params.mtbf_sec = run.mtbf_sec;
+    params.mtbf_sec = mtbf_sec;
     params.full_ckpt_bytes = static_cast<double>(w.full_ckpt_bytes()) /
                              static_cast<double>(cluster.num_gpus);
     params.write_bw = cluster.storage.bytes_per_sec /
                       static_cast<double>(cluster.gpus_per_server);
-    params.total_train_sec = run.train_work_sec;
+    params.total_train_sec = 8 * 3600.0;
     params.load_full_sec = static_cast<double>(w.full_ckpt_bytes()) /
                            cluster.storage_read_bytes_per_sec;
     params.merge_diff_sec = 0.15 * iter0;
@@ -67,35 +67,48 @@ int main(int argc, char** argv) {
     lowdiff.full_interval = tuned.full_interval;
     lowdiff.batch_size = tuned.batch_size;
 
-    auto result = [&](StrategyConfig cfg, double software_fraction) {
-      auto r = run;
-      r.software_fraction = software_fraction;
-      if (cfg.kind == StrategyKind::kLowDiffPlus) {
-        // LowDiff+ runs the dense (no-compression) regime.
-        const auto wd = Workload::for_model("GPT2-S", cluster.gpu, 0.0);
-        return run_with_failures(cluster, wd, cfg, r);
-      }
-      return run_with_failures(cluster, w, cfg, r);
+    const auto cell = [&](const char* label, StrategyConfig cfg,
+                          double software_fraction) {
+      SweepCell c;
+      c.label = label + std::string("@") + bench::Table::fmt(mtbf_h, 1) + "h";
+      c.cluster = cluster;
+      // LowDiff+ runs the dense (no-compression) regime.
+      c.workload = cfg.kind == StrategyKind::kLowDiffPlus ? w_dense : w;
+      c.strategy = cfg;
+      c.scenario.train_work_sec = 8 * 3600.0;
+      c.scenario.mtbf_sec = mtbf_sec;
+      c.scenario.seed = 42;
+      c.scenario.software_fraction = software_fraction;
+      c.scenario.cost.gpu_hour_usd = kGpuHourUsd;
+      c.keep_seed = true;
+      cells.push_back(std::move(c));
     };
     // Baselines follow their papers' default configurations (§6.1):
     // Gemini checkpoints per iteration, CheckFreq every 10 iterations,
     // NaiveDC diffs every iteration with FCF 20, torch.save every 25.
-    const FailureRunResult r_torch = result({StrategyKind::kTorchSave, 25, 25}, 0.5);
-    const FailureRunResult r_cf = result({StrategyKind::kCheckFreq, 10, 10}, 0.5);
-    const FailureRunResult r_gem = result({StrategyKind::kGemini, 1, 1}, 0.5);
-    const FailureRunResult r_naive = result({StrategyKind::kNaiveDC, 1, 20}, 0.5);
-    const FailureRunResult r_low = result(lowdiff, 0.5);
-    const FailureRunResult r_plus_s = result({StrategyKind::kLowDiffPlus, 1}, 1.0);
-    const FailureRunResult r_plus_h = result({StrategyKind::kLowDiffPlus, 1}, 0.0);
+    cell("TorchSave", {StrategyKind::kTorchSave, 25, 25}, 0.5);
+    cell("CheckFreq", {StrategyKind::kCheckFreq, 10, 10}, 0.5);
+    cell("Gemini", {StrategyKind::kGemini, 1, 1}, 0.5);
+    cell("NaiveDC", {StrategyKind::kNaiveDC, 1, 20}, 0.5);
+    cell("LowDiff", lowdiff, 0.5);
+    cell("LowDiff+(S)", {StrategyKind::kLowDiffPlus, 1}, 1.0);
+    cell("LowDiff+(H)", {StrategyKind::kLowDiffPlus, 1}, 0.0);
+  }
 
-    auto wasted = [](const FailureRunResult& r) {
-      return bench::Table::fmt(r.wasted_time / 3600.0);
-    };
-    table.row(bench::Table::fmt(mtbf_h, 1), wasted(r_torch), wasted(r_cf),
-              wasted(r_gem), wasted(r_naive), wasted(r_low), wasted(r_plus_s),
-              wasted(r_plus_h));
-    failure_rows.push_back({mtbf_h, r_torch, r_cf, r_gem, r_naive, r_low,
-                            r_plus_s, r_plus_h});
+  StepCostCache cache;
+  const auto results = run_sweep(cells, SweepOptions{}, nullptr, &cache);
+
+  bench::Table table("Wasted time training GPT2-S for 8h of work (hours)",
+                     {"MTBF_h", "TorchSave", "CheckFreq", "Gemini", "NaiveDC",
+                      "LowDiff", "LowDiff+(S)", "LowDiff+(H)"},
+                     "exp3_wasted_time.csv");
+  for (std::size_t r = 0; r < mtbf_hours.size(); ++r) {
+    std::vector<std::string> row{bench::Table::fmt(mtbf_hours[r], 1)};
+    for (std::size_t c = 0; c < kCols; ++c) {
+      row.push_back(bench::Table::fmt(
+          results[r * kCols + c].run.base.wasted_time / 3600.0));
+    }
+    table.add_row(std::move(row));
   }
   table.emit();
 
@@ -108,15 +121,34 @@ int main(int argc, char** argv) {
       {"MTBF_h", "TorchSave", "CheckFreq", "Gemini", "NaiveDC", "LowDiff",
        "LowDiff+(S)", "LowDiff+(H)"},
       "exp3_failure_waste.csv");
-  for (const auto& row : failure_rows) {
-    auto fw = [](const FailureRunResult& r) {
-      return bench::Table::fmt((r.recovery_time + r.redo_time) / 3600.0);
-    };
-    failure_table.row(bench::Table::fmt(row.mtbf_h, 1), fw(row.torch),
-                      fw(row.checkfreq), fw(row.gemini), fw(row.naive),
-                      fw(row.lowdiff), fw(row.plus_s), fw(row.plus_h));
+  for (std::size_t r = 0; r < mtbf_hours.size(); ++r) {
+    std::vector<std::string> row{bench::Table::fmt(mtbf_hours[r], 1)};
+    for (std::size_t c = 0; c < kCols; ++c) {
+      const auto& base = results[r * kCols + c].run.base;
+      row.push_back(
+          bench::Table::fmt((base.recovery_time + base.redo_time) / 3600.0));
+    }
+    failure_table.add_row(std::move(row));
   }
   failure_table.emit();
+
+  // Dollar-denominated roll-up across the MTBF rows (LowDiff+ software and
+  // hardware variants aggregate under one strategy name).
+  const auto tco = summarize_tco(results);
+  bench::Table tco_table(
+      "Exp. 3 TCO roll-up ($" + bench::Table::fmt(kGpuHourUsd) + "/GPU-hour)",
+      {"strategy", "cells", "gpu_h_total", "gpu_h_wasted", "usd_total",
+       "usd_wasted"},
+      "exp3_tco.csv");
+  for (const auto& s : tco) {
+    tco_table.row(s.strategy_name, std::to_string(s.cells),
+                  bench::Table::fmt(s.gpu_hours_total, 1),
+                  bench::Table::fmt(s.gpu_hours_wasted, 1),
+                  bench::Table::fmt(s.cost_total_usd),
+                  bench::Table::fmt(s.cost_wasted_usd));
+  }
+  tco_table.emit();
+  bench::emit_tco_gauges(tco);
 
   std::cout << "\nLowDiff uses the Eq.(5)-tuned (FCF, BS) per MTBF; see "
                "bench_config_grid for the tuning surface.\n";

@@ -60,6 +60,14 @@ class FailureModel {
     return ev;
   }
 
+  /// Fills `out[0..n)` with the next `n` failures.  Stream-identical to
+  /// calling next() n times — the exponential/uniform interleaving is part
+  /// of the historical RNG stream and must not be reordered — but lets the
+  /// event engine amortize the call overhead across a block.
+  void fill(FailureEvent* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  }
+
  private:
   double mtbf_sec_;
   double software_fraction_;
@@ -74,19 +82,28 @@ inline std::vector<std::size_t> sample_server_losses(std::size_t num_servers,
                                                      std::size_t count,
                                                      std::uint64_t seed) {
   LOWDIFF_ENSURE(count <= num_servers, "cannot kill more servers than exist");
-  std::vector<std::size_t> servers(num_servers);
-  for (std::size_t i = 0; i < num_servers; ++i) servers[i] = i;
   Xoshiro256 rng(SplitMix64(seed ^ 0x5E12Fu).next());
-  // Partial Fisher–Yates: the first `count` entries form a uniform sample.
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.uniform_below(
-                static_cast<std::uint64_t>(num_servers - i)));
-    std::swap(servers[i], servers[j]);
+  // Floyd's distinct-sampling algorithm: O(count) time and memory, one
+  // uniform draw per victim — replaces the old partial Fisher–Yates, whose
+  // O(num_servers) identity array dominated fleet-scale bursts.  For
+  // count == 1 the two algorithms consume the same single draw and return
+  // the same victim, so historical single-loss outputs are unchanged;
+  // multi-loss samples stay uniform over distinct subsets but differ from
+  // the pre-Floyd draws for the same seed (goldens bumped with the note in
+  // DESIGN.md §11).
+  std::vector<std::size_t> victims;
+  victims.reserve(count);
+  for (std::size_t j = num_servers - count; j < num_servers; ++j) {
+    const std::size_t t = static_cast<std::size_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(victims.begin(), victims.end(), t) != victims.end()) {
+      victims.push_back(j);
+    } else {
+      victims.push_back(t);
+    }
   }
-  servers.resize(count);
-  std::sort(servers.begin(), servers.end());
-  return servers;
+  std::sort(victims.begin(), victims.end());
+  return victims;
 }
 
 /// Analytic model of *repair racing failure* — the window analysis behind

@@ -3,12 +3,10 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "sim/scenario.h"
 
 namespace lowdiff::sim {
-namespace {
 
-/// Expected iterations of lost work per failure (average case — a failure
-/// lands uniformly within a checkpoint window).
 double expected_lost_iterations(const StrategyTimeline& timeline,
                                 FailureType type) {
   const auto& cfg = timeline.config();
@@ -34,7 +32,6 @@ double expected_lost_iterations(const StrategyTimeline& timeline,
   return 0.0;
 }
 
-/// Expected differential checkpoints replayed during one recovery.
 std::uint64_t expected_replay_diffs(const StrategyConfig& cfg) {
   switch (cfg.kind) {
     case StrategyKind::kNaiveDC:
@@ -45,12 +42,10 @@ std::uint64_t expected_replay_diffs(const StrategyConfig& cfg) {
   }
 }
 
-}  // namespace
-
-FailureRunResult run_with_failures(const ClusterSpec& cluster,
-                                   const Workload& workload,
-                                   const StrategyConfig& strategy,
-                                   const FailureRunConfig& run) {
+FailureRunResult run_with_failures_reference(const ClusterSpec& cluster,
+                                             const Workload& workload,
+                                             const StrategyConfig& strategy,
+                                             const FailureRunConfig& run) {
   LOWDIFF_ENSURE(run.train_work_sec > 0.0, "train_work_sec must be positive");
   LOWDIFF_ENSURE(run.mtbf_sec > 0.0, "mtbf_sec must be positive");
 
@@ -128,6 +123,14 @@ FailureRunResult run_with_failures(const ClusterSpec& cluster,
   result.wasted_time = wall - completed;
   result.effective_ratio = wall > 0.0 ? completed / wall : 1.0;
   return result;
+}
+
+FailureRunResult run_with_failures(const ClusterSpec& cluster,
+                                   const Workload& workload,
+                                   const StrategyConfig& strategy,
+                                   const FailureRunConfig& run) {
+  return run_scenario(cluster, workload, strategy, ScenarioConfig::from(run))
+      .base;
 }
 
 }  // namespace lowdiff::sim
